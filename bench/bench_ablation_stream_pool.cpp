@@ -1,0 +1,44 @@
+// §VII-C ablation — contribution of automatic stream pooling on the tiled
+// Cholesky: full pool vs one compute + one transfer stream vs a single
+// stream for everything. The paper reports -15% (8 GPUs, N=58800),
+// -8% (two streams) and -5% (1 GPU, N=19600).
+#include <cstdio>
+
+#include "blaslib/tiled_cholesky.hpp"
+
+namespace {
+
+double run(std::size_t n, int ndev, cudastf::stream_pool_mode mode) {
+  cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+  sp.get().set_copy_payloads(false);
+  blaslib::tile_matrix tiles(n, 1960, /*zero_init=*/false);
+  cudastf::context ctx(sp.get(), mode);
+  ctx.set_compute_payloads(false);
+  blaslib::tiled_cholesky_stf(ctx, tiles, {.block = 1960, .compute = false});
+  ctx.finalize();
+  return sp.get().now();
+}
+
+void report(const char* label, std::size_t n, int ndev) {
+  const double pooled = run(n, ndev, cudastf::stream_pool_mode::pooled);
+  const double two = run(n, ndev, cudastf::stream_pool_mode::two_streams);
+  const double single = run(n, ndev, cudastf::stream_pool_mode::single);
+  std::printf("%s (N=%zu, %d GPU%s)\n", label, n, ndev, ndev > 1 ? "s" : "");
+  std::printf("  stream pool        : %8.3f s  (baseline)\n", pooled);
+  std::printf("  compute+transfer   : %8.3f s  (%+.1f%%)\n", two,
+              (two / pooled - 1.0) * 100.0);
+  std::printf("  single stream      : %8.3f s  (%+.1f%%)\n\n", single,
+              (single / pooled - 1.0) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Stream-pool ablation on tiled Cholesky (paper §VII-C)\n\n");
+  report("Multi-GPU", 58800, 8);
+  report("Single-GPU", 19600, 1);
+  std::printf(
+      "Expected shape: disabling the pool degrades performance; a single\n"
+      "stream is worst (paper: -15%% multi-GPU, -8%% two-stream, -5%% 1 GPU).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 10 — performance gains from the CUDA-graph backend on small
+// miniWeather problem sizes on one A100: the epoch mechanism builds,
+// memoizes and re-launches one executable graph per time step, cutting
+// per-kernel launch latency. Also reports the §VII-D small-problem
+// comparison (500x250, 1000 s) including the modelled CPU baseline.
+#include <cstdio>
+
+#include "miniweather/baselines.hpp"
+#include "miniweather/stf_driver.hpp"
+
+namespace {
+
+using namespace miniweather;
+
+double run_backend(const config& c, bool graph) {
+  cudasim::scoped_platform sp(1, cudasim::a100_desc());
+  sp.get().set_copy_payloads(false);
+  cudastf::context ctx = graph ? cudastf::context::graph(sp.get())
+                               : cudastf::context(sp.get());
+  stf_simulation sim(ctx, c, cudastf::exec_place::device(0),
+                     {.compute = false, .fence_per_step = true});
+  sim.run();
+  ctx.finalize();
+  return sp.get().now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 10: CUDA-graph backend gains on small miniWeather domains "
+              "(one A100, injection)\n\n");
+  std::printf("%-14s %-8s %-12s %-12s %-8s\n", "domain", "steps", "stream (s)",
+              "graph (s)", "gain");
+  for (auto [nx, nz] : {std::pair<std::size_t, std::size_t>{256, 128},
+                        {512, 256},
+                        {1024, 512},
+                        {2048, 1024},
+                        {4096, 2048},
+                        {8192, 4096}}) {
+    config c;
+    c.nx = nx;
+    c.nz = nz;
+    c.tc = testcase::injection;
+    // Fixed step count per size keeps total work proportional to the domain.
+    c.sim_time = 300.0 * c.dt();
+    const double t_stream = run_backend(c, false);
+    const double t_graph = run_backend(c, true);
+    std::printf("%5zux%-8zu %-8zu %-12.4f %-12.4f %+.1f%%\n", nx, nz,
+                c.num_steps(), t_stream, t_graph,
+                (t_stream / t_graph - 1.0) * 100.0);
+  }
+
+  std::printf("\n§VII-D small problem (500x250 cells, 1000 simulated seconds):\n");
+  config small;
+  small.nx = 500;
+  small.nz = 250;
+  small.sim_time = 1000.0;
+  small.tc = testcase::injection;
+  std::printf("  CPU 1 core  (model) : %8.1f s\n", cpu_model_seconds(small, 1));
+  std::printf("  CPU 32 cores (model): %8.1f s\n", cpu_model_seconds(small, 32));
+  {
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    fields f(small, false);
+    std::printf("  YAKL, 1 A100        : %8.2f s\n",
+                run_baseline(sp.get(), small, f, yakl_profile(), 1, false));
+  }
+  {
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    fields f(small, false);
+    std::printf("  OpenACC, 1 A100     : %8.2f s\n",
+                run_baseline(sp.get(), small, f, openacc_profile(), 1, false));
+  }
+  std::printf("  CUDASTF stream      : %8.2f s\n", run_backend(small, false));
+  std::printf("  CUDASTF graph       : %8.2f s\n", run_backend(small, true));
+  std::printf(
+      "\nExpected shape: graph gains small at tiny domains, peaking around\n"
+      "2048x1024 (paper: ~30%%), then shrinking as kernels grow; on the\n"
+      "500x250 problem the graph backend is the fastest GPU variant\n"
+      "(paper: 1.39 s vs 2.03 s stream) and every GPU variant beats 32 CPU\n"
+      "cores (paper: 32.6 s).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 3 — Cholesky decomposition on a single A100 whose memory allocator
+// is capped at 8 GB. The asynchronous eviction mechanism stages data to
+// host memory, so problems larger than the cap still complete, at a
+// graceful performance cost.
+#include <cstdio>
+
+#include "blaslib/tiled_cholesky.hpp"
+
+int main() {
+  constexpr std::size_t block = 1960;
+  constexpr std::size_t cap = 8ull << 30;
+
+  std::printf("Fig. 3: Cholesky on one A100, device allocator capped at 8 GB\n\n");
+  std::printf("%-10s %-14s %-16s %-10s\n", "N", "matrix (GB)", "GFLOP/s",
+              "evictions");
+  for (std::size_t tiles : {8, 12, 16, 20, 24, 28}) {
+    const std::size_t n = tiles * block;
+    const double matrix_gb =
+        static_cast<double>(n) * n * 8.0 / 2.0 / (1ull << 30);
+
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().device(0).set_pool_capacity(cap);
+    sp.get().set_copy_payloads(false);
+
+    blaslib::tile_matrix mat(n, block, /*zero_init=*/false);
+    cudastf::context ctx(sp.get());
+    ctx.set_compute_payloads(false);
+    blaslib::tiled_cholesky_stf(ctx, mat, {.block = block, .compute = false});
+    ctx.finalize();
+
+    const double t = sp.get().now();
+    std::printf("%-10zu %-14.1f %-16.0f %-10llu\n", n, matrix_gb,
+                blaslib::cholesky_flops(n) / t / 1e9,
+                static_cast<unsigned long long>(ctx.stats().evictions));
+  }
+  std::printf(
+      "\nExpected shape: full speed while the working set fits in 8 GB,\n"
+      "then the solver keeps completing beyond the cap with eviction\n"
+      "traffic (paper Fig. 3 shows the same capped-memory curve).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7 / §VI-B — accuracy and cost of the sampling-based page mapper:
+// random per-page sampling vs the exhaustive owner computation for
+// page-aligned and misaligned tiled mappings, across sample counts (the
+// paper settled on 30 samples per 2 MB page).
+#include <chrono>
+#include <cstdio>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+using namespace cudastf;
+namespace vmm = cudasim::vmm;
+
+void sweep(const char* label, std::size_t rows, std::size_t cols,
+           std::size_t tile_lines) {
+  cudasim::platform plat(4, cudasim::a100_desc());
+  const std::size_t n = rows * cols;
+  tiled_partitioner part(tile_lines * cols);
+  std::printf("%s: %zux%zu doubles, tiles of %zu lines, 4 devices\n", label,
+              rows, cols, tile_lines);
+  std::printf("  %-12s %-18s %-14s\n", "samples", "mismatched pages",
+              "map time (ms)");
+  for (std::size_t samples : {1ul, 4ul, 8ul, 16ul, 30ul, 64ul, 0ul}) {
+    // Accuracy pass (compares against the exhaustive owner per page).
+    page_mapping_report report;
+    {
+      vmm::reservation r(plat, n * sizeof(double));
+      report = map_pages_by_sampling(r, n, sizeof(double), part, {0, 1, 2, 3},
+                                     samples, 99, /*compute_mismatch=*/true);
+    }
+    // Timing pass (the mapping alone, as the runtime performs it).
+    vmm::reservation r(plat, n * sizeof(double));
+    const auto t0 = std::chrono::steady_clock::now();
+    map_pages_by_sampling(r, n, sizeof(double), part, {0, 1, 2, 3}, samples, 99);
+    const auto t1 = std::chrono::steady_clock::now();
+    char s[16];
+    std::snprintf(s, sizeof s, samples == 0 ? "exhaustive" : "%zu", samples);
+    std::printf("  %-12s %4zu / %-11zu %-14.2f\n", s, report.mismatched_pages,
+                report.pages,
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 7 / §VI-B: sampling-based VMM page mapping accuracy\n\n");
+  // Page-aligned case (the paper's n = 128 example scaled up): tile size is
+  // an exact multiple of the 2 MB page -> sampling is optimal.
+  sweep("page-aligned", 4096, 4096, 64);
+  // Misaligned case (the n = 100 flavour): tiles straddle pages; only
+  // boundary pages can mismatch, and a handful of samples already settle
+  // them to the majority owner.
+  sweep("misaligned", 5000, 5000, 32);
+  std::printf(
+      "Expected shape: zero mismatches for page-aligned mappings at any\n"
+      "sample count; for misaligned mappings the mismatch count drops\n"
+      "rapidly with samples and ~30 samples per page suffices, at a tiny\n"
+      "fraction of the exhaustive cost (paper §VI-B).\n");
+  return 0;
+}

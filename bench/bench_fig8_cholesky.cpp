@@ -1,0 +1,60 @@
+// Fig. 8 — Cholesky decomposition over 8 GPUs: CUDASTF tiled algorithm
+// (automatic look-ahead) vs the cuSolverMg-like 1D block-cyclic baseline,
+// on both the A100 model (block 1960) and the H100 model (block 3072).
+// Timing-only at paper scale; numerics are validated by the test suite.
+#include <cstdio>
+#include <vector>
+
+#include "blaslib/tiled_cholesky.hpp"
+#include "cusolvermg/mg_cholesky.hpp"
+
+namespace {
+
+double run_stf(const cudasim::device_desc& desc, std::size_t n,
+               std::size_t block, int ndev) {
+  cudasim::scoped_platform sp(ndev, desc);
+  sp.get().set_copy_payloads(false);
+  blaslib::tile_matrix tiles(n, block, /*zero_init=*/false);
+  cudastf::context ctx(sp.get());
+  ctx.set_compute_payloads(false);
+  blaslib::tiled_cholesky_stf(ctx, tiles, {.block = block, .compute = false});
+  ctx.finalize();
+  return sp.get().now();
+}
+
+double run_mg(const cudasim::device_desc& desc, std::size_t n,
+              std::size_t block, int ndev) {
+  cudasim::scoped_platform sp(ndev, desc);
+  sp.get().set_copy_payloads(false);
+  blaslib::tile_matrix tiles(n, block, /*zero_init=*/false);
+  return cusolvermg::mg_potrf(sp.get(), tiles,
+                              {.block = block, .compute = false});
+}
+
+void sweep(const char* label, const cudasim::device_desc& desc,
+           std::size_t block) {
+  std::printf("--- %s, 8 GPUs, block %zu ---\n", label, block);
+  std::printf("%-10s %-18s %-18s %-8s\n", "N", "CUDASTF GFLOP/s",
+              "cuSolverMg GFLOP/s", "ratio");
+  for (std::size_t tiles : {6, 10, 14, 18, 22, 26, 30}) {
+    const std::size_t n = tiles * block;
+    const double flops = blaslib::cholesky_flops(n);
+    const double t_stf = run_stf(desc, n, block, 8);
+    const double t_mg = run_mg(desc, n, block, 8);
+    std::printf("%-10zu %-18.0f %-18.0f %.2fx\n", n, flops / t_stf / 1e9,
+                flops / t_mg / 1e9, t_mg / t_stf);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 8: Cholesky decomposition over 8 GPUs\n\n");
+  sweep("A100 model", cudasim::a100_desc(), 1960);
+  sweep("H100 model", cudasim::h100_desc(), 3072);
+  std::printf(
+      "Expected shape: CUDASTF above cuSolverMg everywhere (paper: up to\n"
+      "1.8x), both rising toward the machine's GEMM roofline at large N.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 9 — strong scalability of miniWeather (injection, 10000x5000 cells,
+// 10 simulated seconds) on 1-8 A100s: CUDASTF (transparent multi-device
+// kernels) vs the hand-tuned "OpenACC+MPI"-like and "YAKL+MPI"-like
+// baselines. Timing-only at paper scale.
+#include <cstdio>
+
+#include "miniweather/baselines.hpp"
+#include "miniweather/stf_driver.hpp"
+
+namespace {
+
+using namespace miniweather;
+
+config paper_cfg() {
+  config c;
+  c.nx = 10000;
+  c.nz = 5000;
+  c.sim_time = 10.0;
+  c.tc = testcase::injection;
+  return c;
+}
+
+double run_stf(const config& c, int ndev) {
+  cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+  sp.get().set_copy_payloads(false);
+  cudastf::context ctx(sp.get());
+  auto where = ndev == 1 ? cudastf::exec_place::device(0)
+                         : cudastf::exec_place::all_devices();
+  stf_simulation sim(ctx, c, where, {.compute = false, .fence_per_step = false});
+  sim.run();
+  ctx.finalize();
+  return sp.get().now();
+}
+
+double run_base(const config& c, const baseline_profile& p, int ndev) {
+  cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+  sp.get().set_copy_payloads(false);
+  fields f(c, /*zero_init=*/false);
+  return run_baseline(sp.get(), c, f, p, ndev, /*compute=*/false);
+}
+
+}  // namespace
+
+int main() {
+  const config c = paper_cfg();
+  std::printf(
+      "Fig. 9: miniWeather strong scaling (injection, %zux%zu cells, %.0f s "
+      "simulated, %zu steps)\n\n",
+      c.nx, c.nz, c.sim_time, c.num_steps());
+  std::printf("%-6s %-14s %-16s %-14s %-12s\n", "GPUs", "CUDASTF (s)",
+              "OpenACC+MPI (s)", "YAKL+MPI (s)", "STF speedup");
+  double stf1 = 0.0;
+  for (int ndev : {1, 2, 4, 8}) {
+    const double t_stf = run_stf(c, ndev);
+    const double t_acc = run_base(c, openacc_profile(), ndev);
+    const double t_yakl = run_base(c, yakl_profile(), ndev);
+    if (ndev == 1) {
+      stf1 = t_stf;
+    }
+    std::printf("%-6d %-14.2f %-16.2f %-14.2f %.2fx\n", ndev, t_stf, t_acc,
+                t_yakl, stf1 / t_stf);
+  }
+  std::printf(
+      "\nExpected shape: CUDASTF < OpenACC < YAKL at every device count\n"
+      "(paper 1 GPU: 65.51 / 78.85 / 110.21 s) and ~7x at 8 GPUs.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart — the paper's Fig. 2 program: four interdependent operations
+// over three vectors, written as tasks whose ordering is inferred from
+// data accesses (scale on device 0; adds spread over devices and data
+// places). Run it, then read DESIGN.md for how the simulated platform maps
+// to real CUDA.
+#include <cstdio>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+
+using namespace cudastf;
+
+namespace {
+
+// Plain "CUDA kernels" over slices, launched on a (simulated) stream.
+void scale(cudasim::platform& p, cudasim::stream& s, double a, slice<double> x) {
+  p.launch_kernel(s, {.name = "scale", .flops = double(x.size())}, [=] {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x(i) *= a;
+    }
+  });
+}
+
+void add(cudasim::platform& p, cudasim::stream& s, slice<const double> x,
+         slice<double> y) {
+  p.launch_kernel(s, {.name = "add", .flops = double(x.size())}, [=] {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y(i) += x(i);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  // A machine with two simulated A100s.
+  cudasim::scoped_platform machine(2, cudasim::a100_desc());
+  cudasim::platform& p = machine.get();
+
+  context ctx(p);
+  constexpr std::size_t n = 1 << 20;
+  std::vector<double> X(n, 1.0), Y(n, 2.0), Z(n, 3.0);
+  auto lX = ctx.logical_data(X.data(), n, "X");
+  auto lY = ctx.logical_data(Y.data(), n, "Y");
+  auto lZ = ctx.logical_data(Z.data(), n, "Z");
+
+  // O1: X = 2X
+  ctx.task(lX.rw())->*[&](cudasim::stream& s, slice<double> dX) {
+    scale(p, s, 2.0, dX);
+  };
+  // O2: Y = Y + X
+  ctx.task(lX.read(), lY.rw())->*
+      [&](cudasim::stream& s, slice<const double> dX, slice<double> dY) {
+        add(p, s, dX, dY);
+      };
+  // O3: Z = Z + X — on device 1; runs concurrently with O2.
+  ctx.task(exec_place::device(1), lX.read(), lZ.rw())->*
+      [&](cudasim::stream& s, slice<const double> dX, slice<double> dZ) {
+        add(p, s, dX, dZ);
+      };
+  // O4: Z = Z + Y — executed on device 0, Z pinned on device 1.
+  ctx.task(lY.read(), lZ.rw(data_place::device(1)))->*
+      [&](cudasim::stream& s, slice<const double> dY, slice<double> dZ) {
+        add(p, s, dY, dZ);
+      };
+  ctx.finalize();
+
+  std::printf("X[0] = %.1f (expect 2), Y[0] = %.1f (expect 4), Z[0] = %.1f "
+              "(expect 9)\n",
+              X[0], Y[0], Z[0]);
+  std::printf("simulated device time: %.3f ms over %llu operations\n",
+              p.now() * 1e3,
+              static_cast<unsigned long long>(p.ops_completed()));
+  return X[0] == 2.0 && Y[0] == 4.0 && Z[0] == 9.0 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Tiled Cholesky over CUDASTF (§VII-C): one logical data per tile,
+// cuBLAS/cuSOLVER-style kernels inside tasks, coordination left entirely
+// to the runtime — then verified against a reference factorization.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "blaslib/blas_host.hpp"
+#include "blaslib/tiled_cholesky.hpp"
+
+int main() {
+  constexpr std::size_t n = 256, block = 64;
+  std::vector<double> dense(n * n), reference(n * n);
+  blaslib::fill_spd(dense.data(), n, 1234);
+  reference = dense;
+  blaslib::cholesky_reference(reference.data(), n);
+
+  cudasim::scoped_platform machine(4, cudasim::a100_desc());
+  blaslib::tile_matrix tiles(n, block);
+  tiles.import_dense(dense.data());
+
+  cudastf::context ctx(machine.get());
+  const std::size_t tasks =
+      blaslib::tiled_cholesky_stf(ctx, tiles, {.block = block});
+  ctx.finalize();
+
+  std::vector<double> out(n * n, 0.0);
+  tiles.export_dense(out.data());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      max_err = std::max(max_err,
+                         std::fabs(out[i * n + j] - reference[i * n + j]));
+    }
+  }
+  std::printf("factored %zux%zu in %zu tasks on %d devices, max |err| = %.2e\n",
+              n, n, tasks, machine.get().device_count(), max_err);
+  std::printf("simulated time: %.3f ms (%.0f GFLOP/s)\n",
+              machine.get().now() * 1e3,
+              blaslib::cholesky_flops(n) / machine.get().now() / 1e9);
+  return max_err < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// miniWeather over CUDASTF (§VII-D): the 2D Euler solver with every nested
+// loop expressed as parallel_for, file-output moved to overlapped host
+// tasks, and the same source running on the stream or graph backend and on
+// any number of devices. Prints conservation diagnostics.
+#include <cstdio>
+
+#include "miniweather/stf_driver.hpp"
+
+int main(int argc, char** argv) {
+  miniweather::config c;
+  c.nx = 200;
+  c.nz = 100;
+  c.sim_time = 50.0;
+  c.tc = miniweather::testcase::thermal;
+  const bool use_graph = argc > 1 && std::string_view(argv[1]) == "--graph";
+
+  cudasim::scoped_platform machine(2, cudasim::a100_desc());
+  cudastf::context ctx = use_graph ? cudastf::context::graph(machine.get())
+                                   : cudastf::context(machine.get());
+  miniweather::stf_simulation sim(ctx, c, cudastf::exec_place::all_devices(),
+                                  {.io_interval = 20});
+  auto before = miniweather::reductions(c, sim.host_fields());
+  sim.run();
+  ctx.finalize();
+  auto after = miniweather::reductions(c, sim.host_fields());
+
+  std::printf("miniWeather %zux%zu, %zu steps, backend: %s, devices: %d\n",
+              c.nx, c.nz, c.num_steps(), use_graph ? "graph" : "stream",
+              machine.get().device_count());
+  std::printf("mass drift   : %+.3e (relative)\n",
+              after[0] / before[0] - 1.0);
+  std::printf("energy drift : %+.3e (relative)\n",
+              after[1] / before[1] - 1.0);
+  std::printf("host I/O tasks run: %zu\n", sim.io_count());
+  std::printf("simulated device time: %.3f s\n", machine.get().now());
+  if (use_graph) {
+    std::printf("graph epochs: %llu (instantiated %llu, updated %llu)\n",
+                static_cast<unsigned long long>(ctx.stats().epochs),
+                static_cast<unsigned long long>(ctx.stats().graph_instantiations),
+                static_cast<unsigned long long>(ctx.stats().graph_updates));
+  }
+  return std::abs(after[0] / before[0] - 1.0) < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "blaslib/blas_host.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace blaslib {
+
+void gemm_host(bool trans_a, bool trans_b, double alpha,
+               slice<const double, 2> a, slice<const double, 2> b, double beta,
+               slice<double, 2> c) {
+  const std::size_t m = c.extent(0);
+  const std::size_t n = c.extent(1);
+  const std::size_t k = trans_a ? a.extent(0) : a.extent(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = trans_a ? a(p, i) : a(i, p);
+        const double bv = trans_b ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void syrk_host(double alpha, slice<const double, 2> a, double beta,
+               slice<double, 2> c) {
+  const std::size_t n = c.extent(0);
+  const std::size_t k = a.extent(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a(i, p) * a(j, p);
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void trsm_host(slice<const double, 2> l, slice<double, 2> b) {
+  // Solve X * L^T = B row by row: x_ij = (b_ij - sum_{p<j} x_ip * l_jp) / l_jj.
+  const std::size_t m = b.extent(0);
+  const std::size_t n = b.extent(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = b(i, j);
+      for (std::size_t p = 0; p < j; ++p) {
+        acc -= b(i, p) * l(j, p);
+      }
+      b(i, j) = acc / l(j, j);
+    }
+  }
+}
+
+bool potrf_host(slice<double, 2> a) {
+  const std::size_t n = a.extent(0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t p = 0; p < j; ++p) {
+      d -= a(j, p) * a(j, p);
+    }
+    if (d <= 0.0) {
+      return false;
+    }
+    d = std::sqrt(d);
+    a(j, j) = d;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) {
+        acc -= a(i, p) * a(j, p);
+      }
+      a(i, j) = acc / d;
+    }
+    // Zero the strictly-upper part for clean comparisons.
+    for (std::size_t i = 0; i < j; ++i) {
+      a(i, j) = 0.0;
+    }
+  }
+  return true;
+}
+
+bool cholesky_reference(double* a, std::size_t n) {
+  return potrf_host(slice<double, 2>(a, n, n));
+}
+
+void fill_spd(double* a, std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = dist(rng);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] += static_cast<double>(n);  // diagonal dominance -> SPD
+  }
+}
+
+}  // namespace blaslib

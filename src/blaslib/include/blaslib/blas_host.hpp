@@ -1,0 +1,38 @@
+// Host reference implementations of the dense kernels the Cholesky study
+// needs (the numerical stand-in for cuBLAS/cuSOLVER device kernels —
+// DESIGN.md §1). Row-major, double precision, lower-triangular convention.
+#pragma once
+
+#include <cstddef>
+
+#include "cudastf/slice.hpp"
+
+namespace blaslib {
+
+using cudastf::slice;
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// op is transpose when the corresponding flag is set.
+void gemm_host(bool trans_a, bool trans_b, double alpha,
+               slice<const double, 2> a, slice<const double, 2> b, double beta,
+               slice<double, 2> c);
+
+/// C = alpha * A * A^T + beta * C, updating the lower triangle only.
+void syrk_host(double alpha, slice<const double, 2> a, double beta,
+               slice<double, 2> c);
+
+/// Solves X * L^T = B in place (right, lower, transposed): the TRSM variant
+/// used by the tiled Cholesky panel update. L is unit-free lower triangular.
+void trsm_host(slice<const double, 2> l, slice<double, 2> b);
+
+/// In-place lower Cholesky factorization of the n x n tile. Returns false
+/// if the tile is not positive definite.
+bool potrf_host(slice<double, 2> a);
+
+/// Reference full-matrix Cholesky (lower) for validation.
+bool cholesky_reference(double* a, std::size_t n);
+
+/// Fills a symmetric positive-definite matrix (diagonally dominant).
+void fill_spd(double* a, std::size_t n, unsigned seed);
+
+}  // namespace blaslib

@@ -1,0 +1,57 @@
+// "cuBLAS/cuSOLVER"-shaped wrappers: each call enqueues one simulated
+// device kernel on a stream, with FLOP-exact cost descriptors calibrated to
+// the library efficiencies observed on A100-class hardware, and (optionally)
+// the host reference numerics as the kernel body.
+//
+// These are the kernels the paper's tiled Cholesky calls inside tasks
+// (§VII-C), "leaving all coordination, memory management, and
+// synchronization to the library".
+#pragma once
+
+#include "blaslib/blas_host.hpp"
+#include "cudasim/platform.hpp"
+#include "cudasim/stream.hpp"
+
+namespace blaslib {
+
+/// Relative efficiency of each kernel versus the device's sustained GEMM
+/// rate (device_desc::fp64_flops). GEMM defines the scale; the triangular
+/// kernels run below it, and the small panel factorization is latency- and
+/// bandwidth-limited.
+struct kernel_efficiency {
+  double gemm = 1.00;
+  double syrk = 0.95;
+  double trsm = 0.80;
+  double potrf = 0.25;
+};
+
+/// FLOP counts for the tile kernels (standard dense counts).
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+double syrk_flops(std::size_t n, std::size_t k);
+double trsm_flops(std::size_t m, std::size_t n);
+double potrf_flops(std::size_t n);
+
+/// C = alpha*op(A)*op(B) + beta*C as one simulated kernel on `s`.
+/// When `compute` is false the numerical body is skipped (timing-only).
+void dgemm(cudasim::platform& p, cudasim::stream& s, bool trans_a, bool trans_b,
+           double alpha, slice<const double, 2> a, slice<const double, 2> b,
+           double beta, slice<double, 2> c, bool compute = true);
+
+void dsyrk(cudasim::platform& p, cudasim::stream& s, double alpha,
+           slice<const double, 2> a, double beta, slice<double, 2> c,
+           bool compute = true);
+
+void dtrsm(cudasim::platform& p, cudasim::stream& s, slice<const double, 2> l,
+           slice<double, 2> b, bool compute = true);
+
+void dpotrf(cudasim::platform& p, cudasim::stream& s, slice<double, 2> a,
+            bool compute = true);
+
+/// CUB-like single-device reduction: out[0] = sum(in). Reads the whole
+/// input at (nearly) full device bandwidth — the hand-tuned baseline of
+/// Table II.
+void device_reduce_sum(cudasim::platform& p, cudasim::stream& s,
+                       slice<const double> in, double* out,
+                       bool compute = true);
+
+}  // namespace blaslib

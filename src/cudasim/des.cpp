@@ -1,0 +1,131 @@
+#include "cudasim/des.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cudasim {
+
+op_node* timeline::make_node(std::string name, int device, engine* eng,
+                             double duration, std::function<void()> body) {
+  auto node = std::make_unique<op_node>();
+  node->id = next_id_++;
+  node->name = std::move(name);
+  node->device = device;
+  node->eng = eng;
+  node->duration = duration;
+  node->body = std::move(body);
+  op_node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+void timeline::add_dep(op_node* pred, op_node* succ) {
+  if (pred == nullptr || pred->done || pred == succ) {
+    return;
+  }
+  assert(!succ->submitted && "dependencies must be wired before submit()");
+  pred->succs.push_back(succ);
+  ++succ->unmet;
+}
+
+void timeline::submit(op_node* node) {
+  assert(!node->submitted);
+  node->submitted = true;
+  ++live_;
+  if (node->unmet == 0) {
+    on_ready(node, now_);
+  }
+}
+
+void timeline::on_ready(op_node* node, timepoint t) {
+  node->t_ready = t;
+  if (node->eng == nullptr) {
+    // Pure marker: completes instantly once ready.
+    node->t_start = t;
+    node->t_end = t + node->duration;
+    events_.push({node->t_end, next_seq_++, node});
+    return;
+  }
+  node->eng->ready_fifo_.push_back(node);
+  if (node->eng->idle()) {
+    start_on_engine(node->eng, t);
+  }
+}
+
+void timeline::start_on_engine(engine* eng, timepoint t) {
+  if (eng->ready_fifo_.empty()) {
+    return;
+  }
+  op_node* node = eng->ready_fifo_.front();
+  eng->ready_fifo_.pop_front();
+  eng->running_ = node;
+  node->t_start = std::max(t, eng->busy_until_);
+  node->t_end = node->t_start + node->duration;
+  eng->busy_until_ = node->t_end;
+  events_.push({node->t_end, next_seq_++, node});
+}
+
+void timeline::complete(op_node* node) {
+  node->done = true;
+  now_ = std::max(now_, node->t_end);
+  ++completed_;
+  --live_;
+  if (node->body) {
+    // Run (and release) the payload in completion order so numerical side
+    // effects observe a valid topological order of the DAG.
+    auto body = std::move(node->body);
+    node->body = nullptr;
+    body();
+  }
+  if (node->eng != nullptr) {
+    node->eng->running_ = nullptr;
+    start_on_engine(node->eng, node->t_end);
+  }
+  for (op_node* succ : node->succs) {
+    assert(succ->unmet > 0);
+    if (--succ->unmet == 0 && succ->submitted) {
+      on_ready(succ, node->t_end);
+    }
+  }
+  node->succs.clear();
+  node->succs.shrink_to_fit();
+}
+
+void timeline::drain() {
+  while (!events_.empty()) {
+    pending_event ev = events_.top();
+    events_.pop();
+    complete(ev.node);
+  }
+  if (live_ != 0) {
+    throw std::logic_error(
+        "cudasim: drain() left live operations behind — a submitted op "
+        "depends on a node that was never submitted (dependency cycle or "
+        "forgotten submit)");
+  }
+}
+
+void timeline::gc() {
+  // Nothing in the DAG points backwards at a completed node once its
+  // successor list has been cleared, so completed nodes are reclaimable as
+  // soon as external handles (streams, events) have dropped their pointers.
+  if (nodes_.size() > 4096) {
+    std::erase_if(nodes_, [](const std::unique_ptr<op_node>& n) { return n->done; });
+  }
+}
+
+void timeline::drain_until(const op_node* node) {
+  while (!node->done) {
+    if (events_.empty()) {
+      throw std::logic_error(
+          "cudasim: waiting on an operation that can never complete "
+          "(missing submit or dependency cycle)");
+    }
+    pending_event ev = events_.top();
+    events_.pop();
+    complete(ev.node);
+  }
+}
+
+}  // namespace cudasim

@@ -1,0 +1,44 @@
+#include "cudasim/device.hpp"
+
+namespace cudasim {
+
+device_desc a100_desc() {
+  device_desc d;
+  d.name = "A100-80GB";
+  d.fp64_flops = 17.0e12;
+  d.hbm_bw = 1.80e12;
+  d.p2p_bw = 250.0e9;
+  d.host_link_bw = 22.0e9;
+  d.mem_capacity = 80ull << 30;
+  d.launch_latency = 2.5e-6;
+  d.graph_node_latency = 0.6e-6;
+  return d;
+}
+
+device_desc h100_desc() {
+  device_desc d;
+  d.name = "H100-80GB";
+  d.fp64_flops = 51.0e12;
+  d.hbm_bw = 3.00e12;
+  d.p2p_bw = 350.0e9;
+  d.host_link_bw = 50.0e9;
+  d.mem_capacity = 80ull << 30;
+  d.launch_latency = 2.0e-6;
+  d.graph_node_latency = 0.5e-6;
+  return d;
+}
+
+device_desc test_desc() {
+  device_desc d;
+  d.name = "test-gpu";
+  d.fp64_flops = 1.0e12;
+  d.hbm_bw = 100.0e9;
+  d.p2p_bw = 25.0e9;
+  d.host_link_bw = 10.0e9;
+  d.mem_capacity = 64ull << 20;
+  d.launch_latency = 5.0e-6;
+  d.graph_node_latency = 1.0e-6;
+  return d;
+}
+
+}  // namespace cudasim

@@ -1,0 +1,221 @@
+#include "cudasim/graph.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "cudasim/stream.hpp"
+
+namespace cudasim {
+
+namespace {
+constexpr double instantiate_cost_per_node = 5.0e-6;  // seconds of host time
+constexpr double update_cost_per_node = 0.5e-6;       // ~10x cheaper (paper §III-B)
+}  // namespace
+
+graph_node graph::push(node n) {
+  for (std::uint32_t d : n.deps) {
+    if (d >= nodes_.size()) {
+      throw std::out_of_range("cudasim: graph dependency on unknown node");
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return graph_node{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+namespace {
+std::vector<std::uint32_t> to_indices(const std::vector<graph_node>& deps) {
+  std::vector<std::uint32_t> out;
+  out.reserve(deps.size());
+  for (graph_node d : deps) {
+    if (!d.valid()) {
+      throw std::invalid_argument("cudasim: invalid graph node handle");
+    }
+    out.push_back(d.index);
+  }
+  return out;
+}
+}  // namespace
+
+graph_node graph::add_empty_node(const std::vector<graph_node>& deps) {
+  node n;
+  n.kind = graph_node_kind::empty;
+  n.deps = to_indices(deps);
+  return push(std::move(n));
+}
+
+graph_node graph::add_kernel_node(const std::vector<graph_node>& deps, int device,
+                                  kernel_desc k, std::function<void()> body) {
+  node n;
+  n.kind = graph_node_kind::kernel;
+  n.deps = to_indices(deps);
+  n.device = device;
+  n.kdesc = std::move(k);
+  n.body = std::move(body);
+  return push(std::move(n));
+}
+
+graph_node graph::add_memcpy_node(const std::vector<graph_node>& deps, void* dst,
+                                  const void* src, std::size_t bytes,
+                                  memcpy_kind kind, int device) {
+  node n;
+  n.kind = graph_node_kind::memcpy;
+  n.deps = to_indices(deps);
+  n.device = device;
+  n.dst = dst;
+  n.src = src;
+  n.bytes = bytes;
+  n.ckind = kind;
+  return push(std::move(n));
+}
+
+graph_node graph::add_mem_alloc_node(const std::vector<graph_node>& deps,
+                                     int device, std::size_t bytes,
+                                     void** out_ptr) {
+  void* p = plat_->pool_reserve(device, bytes);
+  *out_ptr = p;
+  if (p == nullptr) {
+    return graph_node{};  // pool exhausted
+  }
+  owned_allocs_.emplace_back(device, p);
+  node n;
+  n.kind = graph_node_kind::mem_alloc;
+  n.deps = to_indices(deps);
+  n.device = device;
+  n.dst = p;
+  n.bytes = bytes;
+  return push(std::move(n));
+}
+
+graph_node graph::add_mem_free_node(const std::vector<graph_node>& deps,
+                                    int device, void* ptr) {
+  const bool owned =
+      std::any_of(owned_allocs_.begin(), owned_allocs_.end(),
+                  [&](const auto& a) { return a.second == ptr; });
+  if (!owned) {
+    throw std::logic_error(
+        "cudasim: graph mem-free node must target a graph-allocated buffer");
+  }
+  node n;
+  n.kind = graph_node_kind::mem_free;
+  n.deps = to_indices(deps);
+  n.device = device;
+  n.dst = ptr;
+  return push(std::move(n));
+}
+
+graph_node graph::add_host_node(const std::vector<graph_node>& deps,
+                                std::function<void()> fn, double cost) {
+  node n;
+  n.kind = graph_node_kind::host;
+  n.deps = to_indices(deps);
+  n.body = std::move(fn);
+  n.host_cost = cost;
+  return push(std::move(n));
+}
+
+void graph::release_resources() {
+  for (auto& [dev, ptr] : owned_allocs_) {
+    plat_->pool_unreserve(dev, ptr);
+  }
+  owned_allocs_.clear();
+}
+
+graph_exec::graph_exec(const graph& g) : plat_(&g.owner()), nodes_(g.nodes_) {
+  last_build_cost_ = instantiate_cost_per_node * static_cast<double>(nodes_.size());
+}
+
+bool graph_exec::update(const graph& g) {
+  if (&g.owner() != plat_ || g.nodes_.size() != nodes_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const graph::node& a = nodes_[i];
+    const graph::node& b = g.nodes_[i];
+    if (a.kind != b.kind || a.device != b.device || a.deps != b.deps) {
+      return false;
+    }
+  }
+  nodes_ = g.nodes_;  // parameter swap (kernel args, copy endpoints, bodies)
+  last_build_cost_ = update_cost_per_node * static_cast<double>(nodes_.size());
+  return true;
+}
+
+void graph_exec::launch(stream& s) {
+  if (s.capturing()) {
+    throw std::logic_error("cudasim: launching an exec graph during capture");
+  }
+  std::lock_guard lock(plat_->mutex());
+  timeline& tl = plat_->tl();
+  std::vector<op_node*> created(nodes_.size(), nullptr);
+  std::vector<bool> has_succ(nodes_.size(), false);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const graph::node& n = nodes_[i];
+    const int dev = n.device >= 0 ? n.device : s.device();
+    op_node* op = nullptr;
+    switch (n.kind) {
+      case graph_node_kind::empty:
+        op = tl.make_node("graph.empty", dev, nullptr, 0.0);
+        break;
+      case graph_node_kind::kernel: {
+        const device_desc& d = plat_->device(dev).desc();
+        const double dur = d.graph_node_latency + kernel_cost_seconds(d, n.kdesc);
+        op = tl.make_node(n.kdesc.name, dev, &plat_->device(dev).compute(), dur,
+                          n.body);
+        break;
+      }
+      case graph_node_kind::memcpy: {
+        const platform::copy_plan plan = plat_->plan_copy(dev, n.bytes, n.ckind);
+        std::function<void()> body;
+        if (plat_->copy_payloads()) {
+          void* dst = n.dst;
+          const void* src = n.src;
+          const std::size_t bytes = n.bytes;
+          body = [dst, src, bytes] {
+            if (dst != nullptr && src != nullptr && bytes > 0) {
+              std::memmove(dst, src, bytes);
+            }
+          };
+        }
+        op = tl.make_node("graph.memcpy", dev, plan.eng, plan.seconds,
+                          std::move(body));
+        break;
+      }
+      case graph_node_kind::mem_alloc:
+      case graph_node_kind::mem_free:
+        // Buffers are owned by the template; alloc/free nodes only cost time.
+        op = tl.make_node("graph.mem", dev, &plat_->device(dev).compute(),
+                          plat_->device(dev).desc().alloc_latency);
+        break;
+      case graph_node_kind::host:
+        op = tl.make_node("graph.host", -1, &plat_->host_engine(), n.host_cost,
+                          n.body);
+        break;
+    }
+    if (n.deps.empty()) {
+      timeline::add_dep(s.last(), op);
+    } else {
+      for (std::uint32_t d : n.deps) {
+        timeline::add_dep(created[d], op);
+        has_succ[d] = true;
+      }
+    }
+    created[i] = op;
+    tl.submit(op);
+  }
+
+  // Join all sink nodes so stream order continues after the whole graph.
+  op_node* join = tl.make_node("graph.join", s.device(), nullptr, 0.0);
+  timeline::add_dep(s.last(), join);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!has_succ[i]) {
+      timeline::add_dep(created[i], join);
+    }
+  }
+  s.set_last(join);
+  tl.submit(join);
+  ++launches_;
+}
+
+}  // namespace cudasim

@@ -1,0 +1,9 @@
+// Umbrella header for the simulated CUDA platform (see DESIGN.md §1).
+#pragma once
+
+#include "cudasim/des.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/graph.hpp"
+#include "cudasim/platform.hpp"
+#include "cudasim/stream.hpp"
+#include "cudasim/vmm.hpp"

@@ -1,0 +1,140 @@
+// Discrete-event simulation core for the simulated CUDA platform.
+//
+// Every asynchronous operation (kernel, copy, allocation, host callback,
+// event marker) is an op_node in a dependency DAG. Engines model exclusive
+// hardware resources (a device's compute pipeline, its copy engines, the
+// host callback thread): ops mapped to the same engine serialize, everything
+// else is ordered only by explicit dependencies. A virtual clock measured in
+// seconds advances as the DAG is drained.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace cudasim {
+
+/// Virtual time in seconds.
+using timepoint = double;
+
+/// Hardware resource classes an operation can occupy.
+enum class engine_kind : std::uint8_t {
+  none,      ///< pure synchronization marker; completes with its predecessors
+  compute,   ///< a device's kernel pipeline (exclusive)
+  copy_in,   ///< a device's host-to-device / intra-device copy engine
+  copy_out,  ///< a device's device-to-host / peer copy engine
+  host,      ///< the host callback executor (one per platform)
+};
+
+class engine;
+
+/// A node of the simulated dependency DAG.
+///
+/// Nodes are created by the platform, wired to predecessors at submission
+/// time, and consumed exactly once by timeline::drain(). `body` (optional)
+/// runs when the node completes so that numerical side effects happen in a
+/// valid topological order.
+struct op_node {
+  std::uint64_t id = 0;
+  std::string name;
+  int device = -1;  ///< owning device, -1 for host/none
+  engine* eng = nullptr;
+  double duration = 0.0;  ///< engine occupancy time in seconds
+  std::function<void()> body;
+
+  std::vector<op_node*> succs;
+  int unmet = 0;       ///< predecessors not yet complete
+  bool submitted = false;
+  bool done = false;
+  timepoint t_ready = 0.0;
+  timepoint t_start = 0.0;
+  timepoint t_end = 0.0;
+};
+
+/// An exclusive resource that executes at most one op at a time, in the
+/// order ops become ready (FIFO among ready ops).
+class engine {
+ public:
+  explicit engine(engine_kind kind) : kind_(kind) {}
+
+  engine_kind kind() const { return kind_; }
+  bool idle() const { return running_ == nullptr; }
+  timepoint busy_until() const { return busy_until_; }
+
+ private:
+  friend class timeline;
+  engine_kind kind_;
+  op_node* running_ = nullptr;
+  timepoint busy_until_ = 0.0;
+  std::deque<op_node*> ready_fifo_;
+};
+
+/// The event-driven scheduler. Owns all op nodes; drains the pending DAG on
+/// demand, advancing the virtual clock and running node bodies.
+class timeline {
+ public:
+  timeline() = default;
+  timeline(const timeline&) = delete;
+  timeline& operator=(const timeline&) = delete;
+
+  /// Creates a node; the caller wires dependencies before submit().
+  op_node* make_node(std::string name, int device, engine* eng, double duration,
+                     std::function<void()> body = {});
+
+  /// Declares that `succ` cannot start before `pred` completes.
+  /// Predecessors that already completed are ignored.
+  static void add_dep(op_node* pred, op_node* succ);
+
+  /// Hands the node to the scheduler. All deps must be wired already.
+  void submit(op_node* node);
+
+  /// Runs the simulation until every submitted node has completed.
+  void drain();
+
+  /// Runs the simulation until the given node has completed.
+  void drain_until(const op_node* node);
+
+  /// Reclaims completed nodes. Callers must first drop every external
+  /// pointer to completed nodes (see platform::collect_handles()).
+  void gc();
+
+  /// Largest completion time observed so far.
+  timepoint now() const { return now_; }
+
+  /// Number of nodes processed since construction (for introspection/tests).
+  std::uint64_t completed_count() const { return completed_; }
+
+  /// Submitted but not yet completed nodes.
+  std::uint64_t live_count() const { return live_; }
+
+ private:
+  struct pending_event {
+    timepoint time;
+    std::uint64_t seq;
+    op_node* node;
+    bool operator>(const pending_event& o) const {
+      return time > o.time || (time == o.time && seq > o.seq);
+    }
+  };
+
+  void on_ready(op_node* node, timepoint t);
+  void start_on_engine(engine* eng, timepoint t);
+  void complete(op_node* node);
+
+  std::vector<std::unique_ptr<op_node>> nodes_;
+  std::priority_queue<pending_event, std::vector<pending_event>,
+                      std::greater<pending_event>>
+      events_;
+  timepoint now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t live_ = 0;  ///< submitted but not completed
+};
+
+}  // namespace cudasim

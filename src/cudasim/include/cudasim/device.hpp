@@ -1,0 +1,35 @@
+// Device descriptions and timing model for the simulated CUDA platform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cudasim {
+
+/// Static performance/capacity model of one simulated GPU.
+///
+/// Cost of a kernel: launch_latency + max(flops/fp64_flops, bytes/hbm_bw),
+/// with remote (peer) bytes charged at p2p_bw and host bytes at host_link_bw.
+struct device_desc {
+  std::string name = "sim-gpu";
+  double fp64_flops = 17.0e12;       ///< sustained FP64 GEMM throughput, FLOP/s
+  double hbm_bw = 1.80e12;           ///< device memory bandwidth, B/s
+  double p2p_bw = 250.0e9;           ///< peer (NVLink-like) bandwidth, B/s
+  double host_link_bw = 22.0e9;      ///< host link (PCIe-like) bandwidth, B/s
+  std::size_t mem_capacity = 80ull << 30;  ///< device memory pool capacity
+  double launch_latency = 2.5e-6;    ///< per stream-launched kernel, s
+  double graph_node_latency = 0.6e-6;///< per graph-launched node, s
+  double copy_latency = 1.2e-6;      ///< fixed cost per async copy, s
+  double alloc_latency = 1.0e-6;     ///< per stream-ordered alloc/free, s
+};
+
+/// Model roughly matching an NVIDIA A100-80GB (DGX-A100 node).
+device_desc a100_desc();
+
+/// Model roughly matching an NVIDIA H100-80GB (DGX-H100 node).
+device_desc h100_desc();
+
+/// A tiny device for stress tests (small memory, exaggerated latencies).
+device_desc test_desc();
+
+}  // namespace cudasim

@@ -1,0 +1,195 @@
+// The simulated CUDA platform: a set of devices, their engines and memory
+// pools, and the shared virtual timeline. Plays the role of the CUDA
+// runtime + driver in this reproduction (see DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cudasim/des.hpp"
+#include "cudasim/device.hpp"
+
+namespace cudasim {
+
+class stream;
+class event;
+
+/// Memory kinds understood by memcpy_async.
+enum class memcpy_kind : std::uint8_t {
+  host_to_device,
+  device_to_host,
+  device_to_device,  ///< same device or peer-to-peer; platform inspects
+  host_to_host,
+};
+
+/// Cost descriptor attached to a simulated kernel launch.
+///
+/// `bytes` is traffic served from the executing device's own memory;
+/// `remote_bytes` crosses a peer link; `host_bytes` crosses the host link.
+struct kernel_desc {
+  std::string name = "kernel";
+  double flops = 0.0;
+  double bytes = 0.0;
+  double remote_bytes = 0.0;
+  double host_bytes = 0.0;
+  double fixed_seconds = 0.0;  ///< extra fixed device time, if any
+};
+
+/// Per-device state: engines and the stream-ordered memory pool.
+class device_state {
+ public:
+  explicit device_state(int index, device_desc desc);
+
+  int index() const { return index_; }
+  const device_desc& desc() const { return desc_; }
+
+  engine& compute() { return compute_; }
+  engine& copy_in() { return copy_in_; }
+  engine& copy_out() { return copy_out_; }
+
+  std::size_t pool_used() const { return pool_used_; }
+  std::size_t pool_capacity() const { return desc_.mem_capacity; }
+  /// Overrides the pool capacity (used by the Fig. 3 experiment).
+  void set_pool_capacity(std::size_t bytes) { desc_.mem_capacity = bytes; }
+
+ private:
+  friend class platform;
+  int index_;
+  device_desc desc_;
+  engine compute_{engine_kind::compute};
+  engine copy_in_{engine_kind::copy_in};
+  engine copy_out_{engine_kind::copy_out};
+  std::size_t pool_used_ = 0;
+  /// Buffers handed out by malloc_async; maps base pointer -> size.
+  std::unordered_map<void*, std::size_t> live_allocs_;
+};
+
+/// Computes the modelled execution time of `k` on a device.
+double kernel_cost_seconds(const device_desc& d, const kernel_desc& k);
+
+/// The simulated machine. Thread-safe for submission (a single mutex
+/// serializes all API calls, mirroring the driver lock).
+class platform {
+ public:
+  /// Builds a homogeneous machine of `num_devices` copies of `desc`.
+  platform(int num_devices, const device_desc& desc);
+  ~platform();
+
+  platform(const platform&) = delete;
+  platform& operator=(const platform&) = delete;
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  device_state& device(int i);
+  const device_state& device(int i) const;
+
+  /// Current-device TLS emulation (cudaSetDevice / cudaGetDevice).
+  void set_device(int i);
+  int current_device() const;
+
+  // --- asynchronous operations (stream-ordered) ---
+
+  /// Launches a simulated kernel; `body` runs when the kernel completes in
+  /// virtual time (it may be empty for timing-only runs).
+  void launch_kernel(stream& s, const kernel_desc& k, std::function<void()> body,
+                     bool graph_launched = false);
+
+  void memcpy_async(void* dst, const void* src, std::size_t n, memcpy_kind kind,
+                    stream& s);
+
+  /// Stream-ordered allocation from the device pool backing `s`.
+  /// Returns nullptr when the pool capacity would be exceeded (the caller —
+  /// e.g. CUDASTF's allocator — is expected to react, typically by evicting).
+  void* malloc_async(std::size_t bytes, stream& s);
+  void free_async(void* p, stream& s);
+
+  void launch_host_func(stream& s, std::function<void()> fn, double cost = 0.0);
+
+  // --- synchronization ---
+
+  void stream_synchronize(stream& s);
+  void synchronize();  ///< cudaDeviceSynchronize over the whole machine
+
+  /// Virtual clock: largest completion time processed so far. Call
+  /// synchronize() first for a quiescent reading.
+  timepoint now() const { return tl_.now(); }
+
+  /// When disabled, memcpy bodies become no-ops (timing-only runs at paper
+  /// scale avoid faulting tens of GB of backing memory). Default: enabled.
+  void set_copy_payloads(bool on) { copy_payloads_ = on; }
+  bool copy_payloads() const { return copy_payloads_; }
+
+  std::uint64_t ops_completed() const { return tl_.completed_count(); }
+
+  // --- internals shared with stream/event/graph (not for end users) ---
+
+  /// Charges `bytes` against device `dev`'s pool and returns backing memory
+  /// (nullptr if the capacity would be exceeded). Used by graph alloc nodes.
+  void* pool_reserve(int dev, std::size_t bytes);
+  /// Returns memory obtained from pool_reserve / malloc_async without
+  /// stream ordering (immediate release).
+  void pool_unreserve(int dev, void* p);
+
+  /// Accounting-only variants used by the VMM layer, which supplies its own
+  /// backing memory. pool_charge returns false if the capacity is exceeded.
+  bool pool_charge(int dev, std::size_t bytes);
+  void pool_discharge(int dev, std::size_t bytes);
+
+  /// Engine + duration for a copy of `n` bytes of the given kind touching
+  /// device `dev`. Shared by stream and graph submission paths.
+  struct copy_plan {
+    engine* eng;
+    double seconds;
+  };
+  copy_plan plan_copy(int dev, std::size_t n, memcpy_kind kind);
+
+  timeline& tl() { return tl_; }
+  std::recursive_mutex& mutex() { return mu_; }
+  engine& host_engine() { return host_engine_; }
+  void register_stream(stream* s) { streams_.insert(s); }
+  void unregister_stream(stream* s) { streams_.erase(s); }
+  void register_event(event* e) { events_.insert(e); }
+  void unregister_event(event* e) { events_.erase(e); }
+  /// Drops handle pointers to completed nodes so drain() can reclaim them.
+  void collect_handles();
+  double host_memcpy_bw() const { return 50.0e9; }
+
+ private:
+  /// Bounds simulator memory: once too many live ops accumulate, drain the
+  /// timeline (virtual timestamps are unaffected — everything submitted is
+  /// fully determined) and reclaim nodes. Called with mu_ held.
+  void maybe_drain_locked();
+
+  std::vector<std::unique_ptr<device_state>> devices_;
+  engine host_engine_{engine_kind::host};
+  timeline tl_;
+  mutable std::recursive_mutex mu_;
+  int current_ = 0;
+  bool copy_payloads_ = true;
+  std::unordered_set<stream*> streams_;
+  std::unordered_set<event*> events_;
+};
+
+/// Process-wide default platform management. Tests and benches typically
+/// install their own platform for the duration of a scope.
+platform& default_platform();
+/// Replaces the default platform; returns the previous one (may be null).
+std::shared_ptr<platform> set_default_platform(std::shared_ptr<platform> p);
+
+/// RAII helper installing a fresh default platform for a scope.
+class scoped_platform {
+ public:
+  scoped_platform(int num_devices, const device_desc& desc);
+  ~scoped_platform();
+  platform& get() { return *mine_; }
+
+ private:
+  std::shared_ptr<platform> mine_;
+  std::shared_ptr<platform> previous_;
+};
+
+}  // namespace cudasim

@@ -1,0 +1,99 @@
+// Simulated CUDA streams and events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cudasim/des.hpp"
+
+namespace cudasim {
+
+class platform;
+class graph;
+class event;
+
+/// An in-order queue of asynchronous operations on one device
+/// (cudaStream_t). Streams are movable handles; destroying a stream does
+/// not wait for its work (as in CUDA).
+class stream {
+ public:
+  /// Creates a stream on `device` (default: the platform's current device).
+  explicit stream(platform& p, int device = -1);
+  ~stream();
+
+  stream(stream&& other) noexcept;
+  stream& operator=(stream&&) = delete;
+  stream(const stream&) = delete;
+  stream& operator=(const stream&) = delete;
+
+  platform& owner() const { return *plat_; }
+  int device() const { return device_; }
+
+  /// Makes future work on this stream wait for `e` (cudaStreamWaitEvent).
+  void wait_event(const event& e);
+
+  /// Blocks (drains the simulation) until all work submitted so far is done.
+  void synchronize();
+
+  /// Virtual completion time of the last submitted op (0 if none pending).
+  timepoint last_op_end() const;
+
+  // --- stream capture (cudaStreamBeginCapture-style) ---
+  // While capturing, operations submitted to this stream are recorded into
+  // `g` as graph nodes instead of being executed.
+  void begin_capture(graph& g);
+  graph* end_capture();
+  bool capturing() const { return capture_ != nullptr; }
+  graph* capture_graph() const { return capture_; }
+
+  // Internal: dependency chaining used by the platform.
+  op_node* last() const { return last_; }
+  void set_last(op_node* n) { last_ = n; }
+  void drop_completed();  ///< forget last_ if it already completed
+  // Internal: capture bookkeeping (nodes this stream's capture tail).
+  void* capture_tail_ = nullptr;
+
+ private:
+  platform* plat_;
+  int device_;
+  op_node* last_ = nullptr;
+  graph* capture_ = nullptr;
+};
+
+/// A marker in a stream's work queue (cudaEvent_t).
+class event {
+ public:
+  explicit event(platform& p);
+  ~event();
+
+  event(event&& other) noexcept;
+  event(const event&) = delete;
+  event& operator=(const event&) = delete;
+  event& operator=(event&&) = delete;
+
+  /// Captures the current tail of `s` (cudaEventRecord).
+  void record(stream& s);
+
+  /// Drains the simulation until the recorded point has completed.
+  void synchronize();
+
+  /// True once the recorded point has completed (cudaEventQuery).
+  bool query() const;
+
+  /// Virtual timestamp of completion; only valid after synchronize().
+  timepoint completion_time() const { return t_end_; }
+
+  // Internal.
+  op_node* node() const { return node_; }
+  void drop_completed();
+
+ private:
+  friend class stream;
+  friend class platform;
+  platform* plat_;
+  op_node* node_ = nullptr;  ///< pending marker node, null once collected
+  bool recorded_ = false;
+  timepoint t_end_ = 0.0;
+};
+
+}  // namespace cudasim

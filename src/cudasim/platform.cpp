@@ -1,0 +1,353 @@
+#include "cudasim/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "cudasim/graph.hpp"
+#include "cudasim/stream.hpp"
+
+namespace cudasim {
+
+device_state::device_state(int index, device_desc desc)
+    : index_(index), desc_(std::move(desc)) {}
+
+double kernel_cost_seconds(const device_desc& d, const kernel_desc& k) {
+  const double compute = k.flops > 0 ? k.flops / d.fp64_flops : 0.0;
+  const double mem = k.bytes > 0 ? k.bytes / d.hbm_bw : 0.0;
+  const double remote = k.remote_bytes > 0 ? k.remote_bytes / d.p2p_bw : 0.0;
+  const double host = k.host_bytes > 0 ? k.host_bytes / d.host_link_bw : 0.0;
+  // Compute overlaps with local memory traffic (roofline); link traffic is
+  // additive since it serializes behind the interconnect.
+  return std::max(compute, mem) + remote + host + k.fixed_seconds;
+}
+
+platform::platform(int num_devices, const device_desc& desc) {
+  if (num_devices < 1) {
+    throw std::invalid_argument("cudasim: platform needs at least one device");
+  }
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    devices_.push_back(std::make_unique<device_state>(i, desc));
+  }
+}
+
+platform::~platform() = default;
+
+device_state& platform::device(int i) {
+  return *devices_.at(static_cast<std::size_t>(i));
+}
+
+const device_state& platform::device(int i) const {
+  return *devices_.at(static_cast<std::size_t>(i));
+}
+
+void platform::set_device(int i) {
+  if (i < 0 || i >= device_count()) {
+    throw std::out_of_range("cudasim: set_device out of range");
+  }
+  std::lock_guard lock(mu_);
+  current_ = i;
+}
+
+int platform::current_device() const {
+  std::lock_guard lock(mu_);
+  return current_;
+}
+
+namespace {
+
+// Capture helpers: while a stream captures, submissions are appended to the
+// capture graph, chained behind the stream's capture tail.
+std::vector<graph_node> capture_deps(stream& s) {
+  const auto tail = reinterpret_cast<std::uintptr_t>(s.capture_tail_);
+  if (tail == 0) {
+    return {};
+  }
+  return {graph_node{static_cast<std::uint32_t>(tail - 1)}};
+}
+
+void set_capture_tail(stream& s, graph_node n) {
+  s.capture_tail_ =
+      reinterpret_cast<void*>(static_cast<std::uintptr_t>(n.index) + 1);
+}
+
+}  // namespace
+
+void platform::launch_kernel(stream& s, const kernel_desc& k,
+                             std::function<void()> body, bool graph_launched) {
+  if (s.capturing()) {
+    graph* g = s.capture_graph();
+    set_capture_tail(
+        s, g->add_kernel_node(capture_deps(s), s.device(), k, std::move(body)));
+    return;
+  }
+  std::lock_guard lock(mu_);
+  device_state& dev = device(s.device());
+  const double latency =
+      graph_launched ? dev.desc().graph_node_latency : dev.desc().launch_latency;
+  const double dur = latency + kernel_cost_seconds(dev.desc(), k);
+  op_node* n = tl_.make_node(k.name, s.device(), &dev.compute(), dur,
+                             std::move(body));
+  timeline::add_dep(s.last(), n);
+  s.set_last(n);
+  tl_.submit(n);
+  maybe_drain_locked();
+}
+
+platform::copy_plan platform::plan_copy(int devidx, std::size_t n,
+                                        memcpy_kind kind) {
+  device_state& dev = device(devidx);
+  engine* eng = nullptr;
+  double bw = 0.0;
+  switch (kind) {
+    case memcpy_kind::host_to_device:
+      eng = &dev.copy_in();
+      bw = dev.desc().host_link_bw;
+      break;
+    case memcpy_kind::device_to_host:
+      eng = &dev.copy_out();
+      bw = dev.desc().host_link_bw;
+      break;
+    case memcpy_kind::device_to_device:
+      eng = &dev.copy_out();
+      bw = dev.desc().p2p_bw;
+      break;
+    case memcpy_kind::host_to_host:
+      eng = &host_engine_;
+      bw = host_memcpy_bw();
+      break;
+  }
+  return {eng, dev.desc().copy_latency + static_cast<double>(n) / bw};
+}
+
+void platform::memcpy_async(void* dst, const void* src, std::size_t n,
+                            memcpy_kind kind, stream& s) {
+  if (s.capturing()) {
+    graph* g = s.capture_graph();
+    set_capture_tail(
+        s, g->add_memcpy_node(capture_deps(s), dst, src, n, kind, s.device()));
+    return;
+  }
+  std::lock_guard lock(mu_);
+  const copy_plan plan = plan_copy(s.device(), n, kind);
+  std::function<void()> body;
+  if (copy_payloads_) {
+    body = [dst, src, n] {
+      if (dst != nullptr && src != nullptr && n > 0) {
+        std::memmove(dst, src, n);
+      }
+    };
+  }
+  op_node* node =
+      tl_.make_node("memcpy", s.device(), plan.eng, plan.seconds, std::move(body));
+  timeline::add_dep(s.last(), node);
+  s.set_last(node);
+  tl_.submit(node);
+  maybe_drain_locked();
+}
+
+void* platform::malloc_async(std::size_t bytes, stream& s) {
+  if (s.capturing()) {
+    void* out = nullptr;
+    graph* g = s.capture_graph();
+    graph_node n = g->add_mem_alloc_node(capture_deps(s), s.device(), bytes, &out);
+    if (n.valid()) {
+      set_capture_tail(s, n);
+    }
+    return out;
+  }
+  std::lock_guard lock(mu_);
+  device_state& dev = device(s.device());
+  if (dev.pool_used_ + bytes > dev.pool_capacity()) {
+    return nullptr;  // pool exhausted; caller reacts (eviction, etc.)
+  }
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  dev.pool_used_ += bytes;
+  dev.live_allocs_.emplace(p, bytes);
+  // The allocation itself is stream-ordered: later ops on the stream wait
+  // for it, modelling cudaMallocAsync.
+  op_node* node = tl_.make_node("mallocAsync", s.device(), &dev.compute(),
+                                dev.desc().alloc_latency);
+  timeline::add_dep(s.last(), node);
+  s.set_last(node);
+  tl_.submit(node);
+  maybe_drain_locked();
+  return p;
+}
+
+void platform::free_async(void* p, stream& s) {
+  if (p == nullptr) {
+    return;
+  }
+  if (s.capturing()) {
+    graph* g = s.capture_graph();
+    set_capture_tail(s, g->add_mem_free_node(capture_deps(s), s.device(), p));
+    return;
+  }
+  std::lock_guard lock(mu_);
+  device_state& dev = device(s.device());
+  auto it = dev.live_allocs_.find(p);
+  if (it == dev.live_allocs_.end()) {
+    throw std::logic_error("cudasim: free_async of unknown pointer");
+  }
+  const std::size_t bytes = it->second;
+  dev.live_allocs_.erase(it);
+  // Pool space is returned in submission order (the pool can reuse the range
+  // for future stream-ordered allocations); the host backing is released when
+  // the free node completes.
+  dev.pool_used_ -= bytes;
+  op_node* node = tl_.make_node("freeAsync", s.device(), &dev.compute(),
+                                dev.desc().alloc_latency, [p] { std::free(p); });
+  timeline::add_dep(s.last(), node);
+  s.set_last(node);
+  tl_.submit(node);
+  maybe_drain_locked();
+}
+
+void* platform::pool_reserve(int devidx, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  device_state& dev = device(devidx);
+  if (dev.pool_used_ + bytes > dev.pool_capacity()) {
+    return nullptr;
+  }
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  dev.pool_used_ += bytes;
+  dev.live_allocs_.emplace(p, bytes);
+  return p;
+}
+
+void platform::pool_unreserve(int devidx, void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  device_state& dev = device(devidx);
+  auto it = dev.live_allocs_.find(p);
+  if (it == dev.live_allocs_.end()) {
+    throw std::logic_error("cudasim: pool_unreserve of unknown pointer");
+  }
+  dev.pool_used_ -= it->second;
+  dev.live_allocs_.erase(it);
+  std::free(p);
+}
+
+bool platform::pool_charge(int devidx, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  device_state& dev = device(devidx);
+  if (dev.pool_used_ + bytes > dev.pool_capacity()) {
+    return false;
+  }
+  dev.pool_used_ += bytes;
+  return true;
+}
+
+void platform::pool_discharge(int devidx, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  device_state& dev = device(devidx);
+  if (dev.pool_used_ < bytes) {
+    throw std::logic_error("cudasim: pool_discharge underflow");
+  }
+  dev.pool_used_ -= bytes;
+}
+
+void platform::launch_host_func(stream& s, std::function<void()> fn,
+                                double cost) {
+  if (s.capturing()) {
+    graph* g = s.capture_graph();
+    set_capture_tail(s, g->add_host_node(capture_deps(s), std::move(fn), cost));
+    return;
+  }
+  std::lock_guard lock(mu_);
+  op_node* node = tl_.make_node("hostFunc", -1, &host_engine_, cost, std::move(fn));
+  timeline::add_dep(s.last(), node);
+  s.set_last(node);
+  tl_.submit(node);
+  maybe_drain_locked();
+}
+
+
+void platform::maybe_drain_locked() {
+  if (tl_.live_count() > 100000) {
+    tl_.drain();
+    collect_handles();
+    tl_.gc();
+  }
+}
+
+void platform::stream_synchronize(stream& s) {
+  std::lock_guard lock(mu_);
+  op_node* last = s.last();
+  if (last == nullptr) {
+    return;
+  }
+  if (!last->done) {
+    tl_.drain_until(last);
+  }
+  collect_handles();
+  tl_.gc();
+}
+
+void platform::synchronize() {
+  std::lock_guard lock(mu_);
+  tl_.drain();
+  collect_handles();
+  tl_.gc();
+}
+
+void platform::collect_handles() {
+  for (stream* s : streams_) {
+    s->drop_completed();
+  }
+  for (event* e : events_) {
+    e->drop_completed();
+  }
+}
+
+namespace {
+std::shared_ptr<platform>& default_slot() {
+  static std::shared_ptr<platform> p;
+  return p;
+}
+}  // namespace
+
+platform& default_platform() {
+  auto& slot = default_slot();
+  if (!slot) {
+    slot = std::make_shared<platform>(1, a100_desc());
+  }
+  return *slot;
+}
+
+std::shared_ptr<platform> set_default_platform(std::shared_ptr<platform> p) {
+  auto& slot = default_slot();
+  std::shared_ptr<platform> prev = slot;
+  slot = std::move(p);
+  return prev;
+}
+
+scoped_platform::scoped_platform(int num_devices, const device_desc& desc)
+    : mine_(std::make_shared<platform>(num_devices, desc)) {
+  previous_ = set_default_platform(mine_);
+}
+
+scoped_platform::~scoped_platform() {
+  try {
+    mine_->synchronize();
+  } catch (...) {
+    // A throwing kernel body can leave the timeline unfinishable; the
+    // platform is being torn down anyway, so absorb the failure rather
+    // than terminating during unwinding.
+  }
+  set_default_platform(previous_);
+}
+
+}  // namespace cudasim

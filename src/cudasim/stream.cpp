@@ -1,0 +1,148 @@
+#include "cudasim/stream.hpp"
+
+#include <stdexcept>
+
+#include "cudasim/graph.hpp"
+#include "cudasim/platform.hpp"
+
+namespace cudasim {
+
+stream::stream(platform& p, int device)
+    : plat_(&p), device_(device < 0 ? p.current_device() : device) {
+  if (device_ >= p.device_count()) {
+    throw std::out_of_range("cudasim: stream on nonexistent device");
+  }
+  std::lock_guard lock(p.mutex());
+  p.register_stream(this);
+}
+
+stream::~stream() {
+  if (plat_ != nullptr) {
+    std::lock_guard lock(plat_->mutex());
+    plat_->unregister_stream(this);
+  }
+}
+
+stream::stream(stream&& other) noexcept
+    : plat_(other.plat_),
+      device_(other.device_),
+      last_(other.last_),
+      capture_(other.capture_) {
+  capture_tail_ = other.capture_tail_;
+  std::lock_guard lock(plat_->mutex());
+  plat_->unregister_stream(&other);
+  plat_->register_stream(this);
+  other.plat_ = nullptr;
+  other.last_ = nullptr;
+  other.capture_ = nullptr;
+}
+
+void stream::wait_event(const event& e) {
+  if (capturing()) {
+    throw std::logic_error(
+        "cudasim: wait_event is not supported during capture; use graph "
+        "dependencies instead");
+  }
+  op_node* evn = e.node();
+  if (evn == nullptr || evn->done) {
+    return;  // already completed: no ordering needed
+  }
+  std::lock_guard lock(plat_->mutex());
+  // Fuse (previous tail, event) into a marker so future work waits on both.
+  op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
+  timeline::add_dep(last_, join);
+  timeline::add_dep(evn, join);
+  last_ = join;
+  plat_->tl().submit(join);
+}
+
+void stream::synchronize() { plat_->stream_synchronize(*this); }
+
+timepoint stream::last_op_end() const {
+  return last_ == nullptr ? 0.0 : last_->t_end;
+}
+
+void stream::begin_capture(graph& g) {
+  if (capturing()) {
+    throw std::logic_error("cudasim: stream already capturing");
+  }
+  capture_ = &g;
+  capture_tail_ = nullptr;
+}
+
+graph* stream::end_capture() {
+  graph* g = capture_;
+  capture_ = nullptr;
+  capture_tail_ = nullptr;
+  return g;
+}
+
+void stream::drop_completed() {
+  if (last_ != nullptr && last_->done) {
+    last_ = nullptr;
+  }
+}
+
+event::event(platform& p) : plat_(&p) {
+  std::lock_guard lock(p.mutex());
+  p.register_event(this);
+}
+
+event::~event() {
+  if (plat_ != nullptr) {
+    std::lock_guard lock(plat_->mutex());
+    plat_->unregister_event(this);
+  }
+}
+
+event::event(event&& other) noexcept
+    : plat_(other.plat_),
+      node_(other.node_),
+      recorded_(other.recorded_),
+      t_end_(other.t_end_) {
+  std::lock_guard lock(plat_->mutex());
+  plat_->unregister_event(&other);
+  plat_->register_event(this);
+  other.plat_ = nullptr;
+  other.node_ = nullptr;
+}
+
+void event::record(stream& s) {
+  if (s.capturing()) {
+    throw std::logic_error("cudasim: event record during capture unsupported");
+  }
+  std::lock_guard lock(plat_->mutex());
+  op_node* marker = plat_->tl().make_node("eventRecord", s.device(), nullptr, 0.0);
+  timeline::add_dep(s.last(), marker);
+  s.set_last(marker);
+  plat_->tl().submit(marker);
+  node_ = marker;
+  recorded_ = true;
+}
+
+void event::synchronize() {
+  std::lock_guard lock(plat_->mutex());
+  if (!recorded_) {
+    throw std::logic_error("cudasim: synchronizing an unrecorded event");
+  }
+  if (node_ != nullptr && !node_->done) {
+    plat_->tl().drain_until(node_);
+  }
+  drop_completed();
+}
+
+bool event::query() const {
+  if (!recorded_) {
+    return false;
+  }
+  return node_ == nullptr || node_->done;
+}
+
+void event::drop_completed() {
+  if (node_ != nullptr && node_->done) {
+    t_end_ = node_->t_end;
+    node_ = nullptr;
+  }
+}
+
+}  // namespace cudasim

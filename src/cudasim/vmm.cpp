@@ -1,0 +1,112 @@
+#include "cudasim/vmm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace cudasim::vmm {
+
+namespace {
+std::size_t round_up_pages(std::size_t bytes) {
+  return (bytes + page_size - 1) / page_size;
+}
+}  // namespace
+
+reservation::reservation(platform& p, std::size_t bytes) : plat_(&p) {
+  const std::size_t pages = round_up_pages(bytes == 0 ? 1 : bytes);
+  bytes_ = pages * page_size;
+  // Host backing stands in for the reserved VA range; Linux faults it in
+  // lazily, so unpopulated reservations cost no physical memory.
+  base_ = std::aligned_alloc(page_size, bytes_);
+  if (base_ == nullptr) {
+    throw std::bad_alloc();
+  }
+  owners_.assign(pages, -1);
+}
+
+reservation::~reservation() { release(); }
+
+reservation::reservation(reservation&& other) noexcept
+    : plat_(other.plat_),
+      base_(other.base_),
+      bytes_(other.bytes_),
+      owners_(std::move(other.owners_)) {
+  other.base_ = nullptr;
+  other.bytes_ = 0;
+  other.owners_.clear();
+}
+
+void reservation::release() {
+  if (base_ == nullptr) {
+    return;
+  }
+  // Return the physical charge to each owning device pool.
+  for (int owner : owners_) {
+    if (owner >= 0) {
+      plat_->pool_discharge(owner, page_size);
+    }
+  }
+  std::free(base_);
+  base_ = nullptr;
+  owners_.clear();
+}
+
+void reservation::map_pages(std::size_t first, std::size_t count, int device) {
+  if (device < 0 || device >= plat_->device_count()) {
+    throw std::out_of_range("cudasim::vmm: map_pages bad device");
+  }
+  if (first + count > owners_.size()) {
+    throw std::out_of_range("cudasim::vmm: map_pages out of reservation");
+  }
+  for (std::size_t pg = first; pg < first + count; ++pg) {
+    if (owners_[pg] == device) {
+      continue;
+    }
+    if (!plat_->pool_charge(device, page_size)) {
+      throw std::runtime_error("cudasim::vmm: device pool exhausted during map");
+    }
+    if (owners_[pg] >= 0) {
+      plat_->pool_discharge(owners_[pg], page_size);
+    }
+    owners_[pg] = device;
+  }
+}
+
+int reservation::owner_of(std::size_t offset) const {
+  if (offset >= bytes_) {
+    throw std::out_of_range("cudasim::vmm: owner_of outside reservation");
+  }
+  return owners_[offset / page_size];
+}
+
+traffic_split reservation::classify(std::size_t offset, std::size_t len,
+                                    int device) const {
+  traffic_split out;
+  std::size_t pos = offset;
+  const std::size_t end = offset + len;
+  while (pos < end) {
+    const std::size_t pg = pos / page_size;
+    const std::size_t page_end = (pg + 1) * page_size;
+    const std::size_t chunk = std::min(end, page_end) - pos;
+    if (pg < owners_.size() && owners_[pg] == device) {
+      out.local += static_cast<double>(chunk);
+    } else {
+      out.remote += static_cast<double>(chunk);
+    }
+    pos += chunk;
+  }
+  return out;
+}
+
+std::vector<std::size_t> reservation::bytes_per_device() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(plat_->device_count()), 0);
+  for (int owner : owners_) {
+    if (owner >= 0) {
+      out[static_cast<std::size_t>(owner)] += page_size;
+    }
+  }
+  return out;
+}
+
+}  // namespace cudasim::vmm

@@ -1,0 +1,228 @@
+#include <cstdint>
+#include <stdexcept>
+
+#include "cudastf/backend.hpp"
+
+namespace cudastf {
+
+namespace {
+
+constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * fnv_prime;
+}
+
+std::uint64_t fnv_str(std::uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h = fnv_mix(h, static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+// The capture tail is stored in the stream as (index + 1), 0 meaning none —
+// the same encoding the platform capture path uses.
+cudasim::graph_node get_tail(cudasim::stream& s) {
+  const auto v = reinterpret_cast<std::uintptr_t>(s.capture_tail_);
+  if (v == 0) {
+    return {};
+  }
+  return cudasim::graph_node{static_cast<std::uint32_t>(v - 1)};
+}
+
+void set_tail(cudasim::stream& s, cudasim::graph_node n) {
+  s.capture_tail_ = n.valid()
+      ? reinterpret_cast<void*>(static_cast<std::uintptr_t>(n.index) + 1)
+      : nullptr;
+}
+
+}  // namespace
+
+graph_backend::graph_backend(cudasim::platform& p) : plat_(&p) {
+  epoch_stream_ = std::make_unique<cudasim::stream>(p, 0);
+  host_capture_ = std::make_unique<cudasim::stream>(p, 0);
+  for (int d = 0; d < p.device_count(); ++d) {
+    capture_.push_back(std::make_unique<cudasim::stream>(p, d));
+    alloc_.push_back(std::make_unique<cudasim::stream>(p, d));
+  }
+}
+
+void graph_backend::ensure_epoch() {
+  if (cur_) {
+    return;
+  }
+  cur_ = std::make_unique<cudasim::graph>(*plat_);
+  for (auto& s : capture_) {
+    s->begin_capture(*cur_);
+  }
+  host_capture_->begin_capture(*cur_);
+  summary_ = 1469598103934665603ull;
+  external_deps_.clear();
+}
+
+event_ptr graph_backend::run(int device, channel ch, const event_list& deps,
+                             const std::function<void(cudasim::stream&)>& payload,
+                             std::string_view name) {
+  ensure_epoch();
+  cudasim::stream& s =
+      ch == channel::host ? *host_capture_
+                          : *capture_.at(static_cast<std::size_t>(device));
+
+  std::vector<cudasim::graph_node> dep_nodes;
+  for (const event_ptr& e : deps) {
+    if (auto* ge = dynamic_cast<graph_node_event*>(e.get())) {
+      if (ge->epoch == epoch_) {
+        dep_nodes.push_back(ge->node);
+      }
+      // Nodes of flushed epochs are ordered by the epoch stream: drop.
+    } else if (dynamic_cast<stream_event*>(e.get()) != nullptr) {
+      // Real-stream work (e.g. allocations): the epoch launch will wait.
+      external_deps_.add(e);
+    } else {
+      throw std::logic_error("cudastf: foreign event kind in graph backend");
+    }
+  }
+
+  cudasim::graph_node tail;
+  if (dep_nodes.size() == 1) {
+    tail = dep_nodes.front();
+  } else if (dep_nodes.size() > 1) {
+    tail = cur_->add_empty_node(dep_nodes);
+  }
+  set_tail(s, tail);
+  payload(s);
+  const cudasim::graph_node out = get_tail(s);
+
+  summary_ = fnv_str(summary_, name);
+  summary_ = fnv_mix(summary_, deps.size());
+  summary_ = fnv_mix(summary_, static_cast<std::uint64_t>(device) + 3);
+  ++stats_.tasks;
+
+  if (!out.valid()) {
+    return nullptr;  // nothing recorded, nothing to wait for
+  }
+  auto ev = std::make_shared<graph_node_event>();
+  ev->node = out;
+  ev->epoch = epoch_;
+  return ev;
+}
+
+void graph_backend::flush() {
+  if (!cur_) {
+    return;
+  }
+  for (auto& s : capture_) {
+    s->end_capture();
+  }
+  host_capture_->end_capture();
+  std::unique_ptr<cudasim::graph> g = std::move(cur_);
+  ++epoch_;
+  if (g->node_count() == 0) {
+    return;
+  }
+
+  // Approximate match by task summary, exact match by a successful update
+  // (§III-B); failed updates are cheap.
+  cudasim::graph_exec* exec = nullptr;
+  auto& bucket = cache_[summary_];
+  for (auto& candidate : bucket) {
+    if (candidate->update(*g)) {
+      exec = candidate.get();
+      ++stats_.graph_updates;
+      break;
+    }
+  }
+  if (exec == nullptr) {
+    bucket.push_back(std::make_unique<cudasim::graph_exec>(*g));
+    exec = bucket.back().get();
+    ++stats_.graph_instantiations;
+  }
+
+  for (const event_ptr& e : external_deps_) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      epoch_stream_->wait_event(se->ev);
+    }
+  }
+  external_deps_.clear();
+  // Host-side cost of instantiating/updating the executable delays the
+  // launch (charged on the epoch stream through the host engine).
+  if (exec->last_build_cost_seconds() > 0) {
+    plat_->launch_host_func(*epoch_stream_, {}, exec->last_build_cost_seconds());
+  }
+  exec->launch(*epoch_stream_);
+  ++stats_.graph_launches;
+  ++stats_.epochs;
+
+  auto done = std::make_shared<stream_event>(*plat_);
+  done->ev.record(*epoch_stream_);
+  last_epoch_done_ = std::move(done);
+}
+
+void graph_backend::fence() { flush(); }
+
+void* graph_backend::alloc_device(int device, std::size_t bytes,
+                                  event_list& out) {
+  cudasim::stream& s = *alloc_.at(static_cast<std::size_t>(device));
+  void* p = plat_->malloc_async(bytes, s);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  auto ev = std::make_shared<stream_event>(*plat_);
+  ev->ev.record(s);
+  out.add(std::move(ev));
+  return p;
+}
+
+void graph_backend::free_device(int device, void* p, const event_list& deps,
+                                event_list& dangling) {
+  bool has_graph_dep = false;
+  for (const event_ptr& e : deps) {
+    if (dynamic_cast<graph_node_event*>(e.get()) != nullptr) {
+      has_graph_dep = true;
+    }
+  }
+  if (has_graph_dep) {
+    flush();  // turn graph-node deps into epoch-stream ordering
+  }
+  cudasim::stream& s = *alloc_.at(static_cast<std::size_t>(device));
+  if (has_graph_dep && last_epoch_done_) {
+    s.wait_event(static_cast<stream_event*>(last_epoch_done_.get())->ev);
+  }
+  for (const event_ptr& e : deps) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      s.wait_event(se->ev);
+    }
+  }
+  plat_->free_async(p, s);
+  auto ev = std::make_shared<stream_event>(*plat_);
+  ev->ev.record(s);
+  dangling.add(std::move(ev));
+}
+
+void graph_backend::wait(const event_list& l) {
+  bool has_graph_dep = false;
+  for (const event_ptr& e : l) {
+    if (dynamic_cast<graph_node_event*>(e.get()) != nullptr) {
+      has_graph_dep = true;
+    }
+  }
+  if (has_graph_dep) {
+    flush();
+    if (last_epoch_done_) {
+      static_cast<stream_event*>(last_epoch_done_.get())->ev.synchronize();
+    }
+  }
+  for (const event_ptr& e : l) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      se->ev.synchronize();
+    }
+  }
+}
+
+void graph_backend::wait_idle() {
+  flush();
+  plat_->synchronize();
+}
+
+}  // namespace cudastf

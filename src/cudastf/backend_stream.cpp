@@ -1,0 +1,108 @@
+#include <stdexcept>
+
+#include "cudastf/backend.hpp"
+
+namespace cudastf {
+
+stream_backend::stream_backend(cudasim::platform& p, stream_pool_mode mode,
+                               int pool_size)
+    : plat_(&p) {
+  int n_compute = pool_size;
+  int n_copy = 2;
+  switch (mode) {
+    case stream_pool_mode::pooled:
+      break;
+    case stream_pool_mode::two_streams:
+      n_compute = 1;
+      n_copy = 1;
+      break;
+    case stream_pool_mode::single:
+      n_compute = 1;
+      n_copy = 0;  // copies share the single compute stream
+      break;
+  }
+  dev_.resize(static_cast<std::size_t>(p.device_count()));
+  for (int d = 0; d < p.device_count(); ++d) {
+    per_device& pd = dev_[static_cast<std::size_t>(d)];
+    for (int i = 0; i < n_compute; ++i) {
+      pd.compute.push_back(std::make_unique<cudasim::stream>(p, d));
+    }
+    for (int i = 0; i < n_copy; ++i) {
+      pd.copy.push_back(std::make_unique<cudasim::stream>(p, d));
+    }
+    pd.alloc = std::make_unique<cudasim::stream>(p, d);
+  }
+  host_stream_ = std::make_unique<cudasim::stream>(p, 0);
+}
+
+cudasim::stream& stream_backend::pick(int device, channel ch) {
+  if (ch == channel::host) {
+    return *host_stream_;
+  }
+  per_device& pd = dev_.at(static_cast<std::size_t>(device));
+  if (ch == channel::transfer && !pd.copy.empty()) {
+    cudasim::stream& s = *pd.copy[pd.next_copy];
+    pd.next_copy = (pd.next_copy + 1) % pd.copy.size();
+    return s;
+  }
+  cudasim::stream& s = *pd.compute[pd.next_compute];
+  pd.next_compute = (pd.next_compute + 1) % pd.compute.size();
+  return s;
+}
+
+event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
+                              const std::function<void(cudasim::stream&)>& payload,
+                              std::string_view /*name*/) {
+  cudasim::stream& s = pick(device, ch);
+  for (const event_ptr& e : deps) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      s.wait_event(se->ev);
+    } else {
+      throw std::logic_error("cudastf: foreign event kind in stream backend");
+    }
+  }
+  payload(s);
+  auto out = std::make_shared<stream_event>(*plat_);
+  out->ev.record(s);
+  ++stats_.tasks;
+  return out;
+}
+
+void* stream_backend::alloc_device(int device, std::size_t bytes,
+                                   event_list& out) {
+  cudasim::stream& s = *dev_.at(static_cast<std::size_t>(device)).alloc;
+  void* p = plat_->malloc_async(bytes, s);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  auto ev = std::make_shared<stream_event>(*plat_);
+  ev->ev.record(s);
+  out.add(std::move(ev));
+  return p;
+}
+
+void stream_backend::free_device(int device, void* p, const event_list& deps,
+                                 event_list& dangling) {
+  cudasim::stream& s = *dev_.at(static_cast<std::size_t>(device)).alloc;
+  for (const event_ptr& e : deps) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      s.wait_event(se->ev);
+    }
+  }
+  plat_->free_async(p, s);
+  auto ev = std::make_shared<stream_event>(*plat_);
+  ev->ev.record(s);
+  dangling.add(std::move(ev));
+}
+
+void stream_backend::wait(const event_list& l) {
+  for (const event_ptr& e : l) {
+    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+      se->ev.synchronize();
+    }
+  }
+}
+
+void stream_backend::wait_idle() { plat_->synchronize(); }
+
+}  // namespace cudastf

@@ -1,0 +1,125 @@
+#include "cudastf/context.hpp"
+
+#include <stdexcept>
+
+namespace cudastf {
+
+namespace detail {
+
+std::vector<int> resolve_devices(const exec_place& where,
+                                 cudasim::platform& plat) {
+  switch (where.type()) {
+    case exec_place::kind::current_device:
+      return {plat.current_device()};
+    case exec_place::kind::device:
+      if (where.device_index() >= plat.device_count()) {
+        throw std::out_of_range("cudastf: execution place beyond device count");
+      }
+      return {where.device_index()};
+    case exec_place::kind::grid: {
+      if (where.wants_all_devices()) {
+        std::vector<int> all(static_cast<std::size_t>(plat.device_count()));
+        for (int i = 0; i < plat.device_count(); ++i) {
+          all[static_cast<std::size_t>(i)] = i;
+        }
+        return all;
+      }
+      for (int d : where.grid_devices()) {
+        if (d >= plat.device_count()) {
+          throw std::out_of_range("cudastf: grid device beyond device count");
+        }
+      }
+      return where.grid_devices();
+    }
+    case exec_place::kind::host:
+      throw std::logic_error("cudastf: host place has no devices");
+    case exec_place::kind::automatic:
+      throw std::logic_error(
+          "cudastf: automatic placement applies to task(); structured "
+          "constructs take a device or grid place");
+  }
+  return {};
+}
+
+std::shared_ptr<const partitioner> default_partitioner() {
+  static const auto p = std::make_shared<const blocked_partitioner>();
+  return p;
+}
+
+data_place default_composite(const std::vector<int>& devices) {
+  composite_desc desc;
+  desc.devices = devices;
+  desc.part = default_partitioner();
+  desc.partitioner_key = desc.part->key();
+  return data_place::composite(std::move(desc));
+}
+
+void add_dep_traffic(cudasim::kernel_desc& k, const task_dep_untyped& dep,
+                     const data_place& resolved, double frac0, double frac1,
+                     int device) {
+  const double total = static_cast<double>(dep.data->bytes());
+  const double want = (frac1 - frac0) * total;
+  if (want <= 0) {
+    return;
+  }
+  data_instance* inst = dep.data->find_instance(resolved);
+  if (inst != nullptr && inst->resv) {
+    const auto b0 = static_cast<std::size_t>(frac0 * total);
+    const auto len = static_cast<std::size_t>(want);
+    const auto split = inst->resv->classify(b0, std::min(len, inst->resv->size() - b0),
+                                            device);
+    k.bytes += split.local;
+    k.remote_bytes += split.remote;
+    return;
+  }
+  switch (resolved.type()) {
+    case data_place::kind::device:
+      if (resolved.device_index() == device) {
+        k.bytes += want;
+      } else {
+        k.remote_bytes += want;
+      }
+      break;
+    case data_place::kind::host:
+      k.host_bytes += want;
+      break;
+    default:
+      k.bytes += want;
+      break;
+  }
+}
+
+}  // namespace detail
+
+data_impl_ptr context::register_impl(std::vector<std::size_t> extents,
+                                     std::size_t elem_size, void* host_ptr,
+                                     std::string name) {
+  std::lock_guard lock(st_->mu);
+  auto impl = std::make_shared<logical_data_impl>(
+      st_, std::move(extents), elem_size, host_ptr, std::move(name));
+  st_->registry.emplace_back(impl);
+  if (st_->registry.size() % 256 == 0) {
+    st_->sweep_registry();
+  }
+  return impl;
+}
+
+void context::finalize() {
+  std::unique_lock lock(st_->mu);
+  // Write every host-backed logical data back to its original location;
+  // the copies overlap with remaining device work (§II-B).
+  event_list pending;
+  for (auto& w : st_->registry) {
+    if (auto d = w.lock()) {
+      pending.merge(write_back_host(*st_, *d));
+    }
+  }
+  pending.merge(st_->dangling);
+  st_->dangling.clear();
+  st_->backend->fence();
+  st_->backend->wait(pending);
+  st_->backend->wait_idle();
+  st_->sweep_registry();
+}
+
+}  // namespace cudastf

@@ -1,0 +1,426 @@
+#include "cudastf/data.hpp"
+
+#include <new>
+#include <stdexcept>
+
+#include "cudastf/context_state.hpp"
+#include "cudastf/partition.hpp"
+
+namespace cudastf {
+
+std::uint64_t data_place::key() const {
+  switch (kind_) {
+    case kind::affine:
+      return 0xA;
+    case kind::host:
+      return 0xB;
+    case kind::device:
+      return 0x100 + static_cast<std::uint64_t>(dev_);
+    case kind::composite: {
+      std::uint64_t h = 0xC0C0 ^ comp_->partitioner_key;
+      for (int d : comp_->devices) {
+        h = h * 1099511628211ull + static_cast<std::uint64_t>(d) + 1;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+data_place resolve_place(const data_place& requested, int exec_device) {
+  if (!requested.is_affine()) {
+    return requested;
+  }
+  return exec_device < 0 ? data_place::host() : data_place::device(exec_device);
+}
+
+logical_data_impl::logical_data_impl(std::shared_ptr<context_state> st,
+                                     std::vector<std::size_t> extents,
+                                     std::size_t elem_size, void* host_ptr,
+                                     std::string name)
+    : st_(std::move(st)), extents_(std::move(extents)), elem_size_(elem_size),
+      name_(std::move(name)) {
+  elements_ = 1;
+  for (std::size_t e : extents_) {
+    elements_ *= e;
+  }
+  bytes_ = elements_ * elem_size_;
+  if (host_ptr != nullptr) {
+    auto inst = std::make_unique<data_instance>();
+    inst->place = data_place::host();
+    inst->ptr = host_ptr;
+    inst->allocated = true;
+    inst->user_owned = true;
+    inst->state = msi_state::modified;  // the only valid copy initially
+    instances_.push_back(std::move(inst));
+  }
+}
+
+data_instance& logical_data_impl::instance_at(const data_place& place) {
+  if (data_instance* found = find_instance(place)) {
+    return *found;
+  }
+  auto inst = std::make_unique<data_instance>();
+  inst->place = place;
+  data_instance& ref = *inst;
+  instances_.push_back(std::move(inst));
+  return ref;
+}
+
+data_instance* logical_data_impl::find_instance(const data_place& place) {
+  for (auto& inst : instances_) {
+    if (inst->place == place) {
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+void logical_data_impl::pin_all(bool pinned) {
+  for (auto& inst : instances_) {
+    inst->pinned = pinned;
+  }
+}
+
+namespace {
+
+/// Picks the instance to copy from: a modified copy if one exists,
+/// otherwise any valid (shared) copy.
+data_instance* pick_valid_source(logical_data_impl& d,
+                                 const data_instance* exclude) {
+  data_instance* shared_src = nullptr;
+  for (auto& inst : d.instances()) {
+    if (inst.get() == exclude || inst->state == msi_state::invalid) {
+      continue;
+    }
+    if (inst->state == msi_state::modified) {
+      return inst.get();
+    }
+    shared_src = inst.get();
+  }
+  return shared_src;
+}
+
+struct copy_route {
+  cudasim::memcpy_kind kind;
+  int run_device;  ///< device whose copy engine performs the transfer
+};
+
+int place_device(const data_place& p) {
+  switch (p.type()) {
+    case data_place::kind::device:
+      return p.device_index();
+    case data_place::kind::composite:
+      return p.composite_info().devices.front();
+    default:
+      return -1;  // host
+  }
+}
+
+copy_route route_copy(const data_place& src, const data_place& dst) {
+  const int s = place_device(src);
+  const int d = place_device(dst);
+  if (s < 0 && d < 0) {
+    return {cudasim::memcpy_kind::host_to_host, 0};
+  }
+  if (s < 0) {
+    return {cudasim::memcpy_kind::host_to_device, d};
+  }
+  if (d < 0) {
+    return {cudasim::memcpy_kind::device_to_host, s};
+  }
+  return {cudasim::memcpy_kind::device_to_device, s};
+}
+
+/// Issues the asynchronous transfer making `dst` a valid copy of `src`.
+event_ptr issue_copy(context_state& st, logical_data_impl& d,
+                     data_instance& src, data_instance& dst) {
+  event_list deps;
+  deps.merge(src.writer);   // the data must have been produced
+  deps.merge(dst.writer);   // includes dst's allocation event
+  deps.merge(dst.readers);  // nobody may still be reading what we overwrite
+  const copy_route route = route_copy(src.place, dst.place);
+  void* to = dst.ptr;
+  const void* from = src.ptr;
+  const std::size_t n = d.bytes();
+  cudasim::platform* plat = st.plat;
+  event_ptr ev = st.backend->run(
+      route.run_device < 0 ? 0 : route.run_device, backend_iface::channel::transfer,
+      deps,
+      [plat, to, from, n, route](cudasim::stream& s) {
+        plat->memcpy_async(to, from, n, route.kind, s);
+      },
+      "transfer");
+  src.readers.add(ev);
+  dst.writer = event_list(ev);
+  dst.readers.clear();
+  if (src.state == msi_state::modified) {
+    src.state = msi_state::shared;
+  }
+  dst.state = msi_state::shared;
+  return ev;
+}
+
+/// Allocates backing for `inst` (device pool with eviction, plain host
+/// memory, or a page-mapped VMM reservation for composite places). The
+/// allocation event, if any, is recorded as the instance's writer.
+void allocate_instance(context_state& st, logical_data_impl& d,
+                       data_instance& inst) {
+  event_list alloc_events;
+  switch (inst.place.type()) {
+    case data_place::kind::device:
+      inst.ptr = st.alloc_with_eviction(inst.place.device_index(), d.bytes(),
+                                        alloc_events);
+      break;
+    case data_place::kind::host:
+      inst.ptr = ::operator new(d.bytes());
+      break;
+    case data_place::kind::composite: {
+      const composite_desc& comp = inst.place.composite_info();
+      inst.resv = std::make_unique<cudasim::vmm::reservation>(*st.plat, d.bytes());
+      map_pages_by_sampling(*inst.resv, d.element_count(), d.elem_size(),
+                            *comp.part, comp.devices);
+      inst.ptr = inst.resv->data();
+      break;
+    }
+    case data_place::kind::affine:
+      throw std::logic_error("cudastf: affine place must be resolved first");
+  }
+  inst.allocated = true;
+  inst.writer.merge(alloc_events);
+}
+
+}  // namespace
+
+event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
+                       const data_place& resolved) {
+  logical_data_impl& d = *dep.data;
+  event_list l;
+
+  // enforce_stf: task-level ordering from data accesses (§II-B).
+  l.merge(d.last_writer);
+  if (mode_writes(dep.mode)) {
+    l.merge(d.readers_since_write);
+  }
+
+  data_instance& inst = d.instance_at(resolved);
+  inst.pinned = true;
+  inst.last_use = ++st.use_counter;
+
+  // allocate: make sure the instance has backing at this place.
+  if (!inst.allocated) {
+    allocate_instance(st, d, inst);
+  }
+
+  // update: obtain a valid copy when the task reads.
+  if (mode_reads(dep.mode) && inst.state == msi_state::invalid) {
+    if (data_instance* src = pick_valid_source(d, &inst)) {
+      issue_copy(st, d, *src, inst);
+    } else if (dep.mode == access_mode::read) {
+      throw std::logic_error("cudastf: read of uninitialized logical data '" +
+                             d.name() + "'");
+    }
+    // rw on never-written data proceeds on uninitialized contents.
+  }
+
+  // Instance-level readiness: when the instance can be read / modified.
+  l.merge(inst.writer);
+  if (mode_writes(dep.mode)) {
+    l.merge(inst.readers);
+    for (auto& other : d.instances()) {
+      if (other.get() != &inst) {
+        other->state = msi_state::invalid;
+      }
+    }
+    inst.state = msi_state::modified;
+  }
+  return l;
+}
+
+void release_dep(context_state& /*st*/, const task_dep_untyped& dep,
+                 const data_place& resolved, const event_list& done) {
+  logical_data_impl& d = *dep.data;
+  data_instance* inst = d.find_instance(resolved);
+  if (inst == nullptr) {
+    throw std::logic_error("cudastf: release of unknown instance");
+  }
+  if (mode_writes(dep.mode)) {
+    d.last_writer = done;
+    d.readers_since_write.clear();
+    inst->writer = done;
+    inst->readers.clear();
+  } else {
+    d.readers_since_write.merge(done);
+    inst->readers.merge(done);
+  }
+  inst->pinned = false;
+}
+
+event_list write_back_host(context_state& st, logical_data_impl& d) {
+  data_instance* host = d.find_instance(data_place::host());
+  if (host == nullptr || !host->allocated) {
+    return {};  // no original host location: nothing to write back
+  }
+  if (host->state != msi_state::invalid) {
+    return {};
+  }
+  data_instance* src = pick_valid_source(d, host);
+  if (src == nullptr) {
+    return {};
+  }
+  event_ptr ev = issue_copy(st, d, *src, *host);
+  return event_list(ev);
+}
+
+logical_data_impl::~logical_data_impl() {
+  std::lock_guard lock(st_->mu);
+  // Write back to the application's memory before device copies vanish.
+  event_list wb = write_back_host(*st_, *this);
+  st_->dangling.merge(wb);
+  for (auto& inst : instances_) {
+    if (!inst->allocated || inst->user_owned) {
+      continue;
+    }
+    event_list deps;
+    deps.merge(inst->readers);
+    deps.merge(inst->writer);
+    switch (inst->place.type()) {
+      case data_place::kind::device:
+        st_->backend->free_device(inst->place.device_index(), inst->ptr, deps,
+                                  st_->dangling);
+        break;
+      case data_place::kind::host: {
+        // Deferred host free: the host node's body releases the buffer when
+        // every dependent operation has completed.
+        void* p = inst->ptr;
+        cudasim::platform* plat = st_->plat;
+        event_ptr ev = st_->backend->run(
+            0, backend_iface::channel::host, deps,
+            [plat, p](cudasim::stream& s) {
+              plat->launch_host_func(s, [p] { ::operator delete(p); });
+            },
+            "host_free");
+        st_->dangling.add(ev);
+        break;
+      }
+      case data_place::kind::composite: {
+        // Defer the reservation teardown to a host node body as well.
+        auto shared_resv = std::shared_ptr<cudasim::vmm::reservation>(
+            std::move(inst->resv));
+        cudasim::platform* plat = st_->plat;
+        event_ptr ev = st_->backend->run(
+            0, backend_iface::channel::host, deps,
+            [plat, shared_resv](cudasim::stream& s) {
+              plat->launch_host_func(s, [shared_resv] {});
+            },
+            "vmm_release");
+        st_->dangling.add(ev);
+        break;
+      }
+      case data_place::kind::affine:
+        break;
+    }
+    inst->allocated = false;
+    inst->ptr = nullptr;
+  }
+}
+
+int pick_heft_device(context_state& st, const task_dep_untyped* const* deps,
+                     std::size_t n_deps) {
+  const int ndev = st.plat->device_count();
+  if (st.heft_load.size() != static_cast<std::size_t>(ndev)) {
+    st.heft_load.assign(static_cast<std::size_t>(ndev), 0.0);
+  }
+  int best = 0;
+  double best_finish = 0.0;
+  double best_work = 0.0;
+  for (int d = 0; d < ndev; ++d) {
+    const cudasim::device_state& dev = st.plat->device(d);
+    double transfer = 0.0;
+    double work = 5.0e-6;  // fixed per-task floor (launch latency scale)
+    for (std::size_t i = 0; i < n_deps; ++i) {
+      logical_data_impl& data = *deps[i]->data;
+      const double bytes = static_cast<double>(data.bytes());
+      work += bytes / dev.desc().hbm_bw;
+      // Is a valid copy already resident on this device?
+      data_instance* inst = data.find_instance(data_place::device(d));
+      const bool local = inst != nullptr && inst->state != msi_state::invalid;
+      if (!local) {
+        transfer += bytes / dev.desc().host_link_bw;
+      }
+    }
+    const double finish = st.heft_load[static_cast<std::size_t>(d)] + transfer + work;
+    if (d == 0 || finish < best_finish) {
+      best = d;
+      best_finish = finish;
+      // Only execution time is charged to the device: the transfer is a
+      // one-time cost on the copy engine, not recurring compute load.
+      best_work = work;
+    }
+  }
+  st.heft_load[static_cast<std::size_t>(best)] += best_work;
+  return best;
+}
+
+void context_state::sweep_registry() {
+  std::erase_if(registry, [](const std::weak_ptr<logical_data_impl>& w) {
+    return w.expired();
+  });
+}
+
+void* context_state::alloc_with_eviction(int device, std::size_t bytes,
+                                         event_list& out) {
+  for (;;) {
+    if (void* p = backend->alloc_device(device, bytes, out)) {
+      return p;
+    }
+    // Pool exhausted: pick the least-recently-used unpinned device instance
+    // on this device and evict it (staging modified data to the host
+    // first), entirely asynchronously (§IV-B, Fig. 3).
+    logical_data_impl* victim_data = nullptr;
+    data_instance* victim = nullptr;
+    for (auto& w : registry) {
+      auto d = w.lock();
+      if (!d) {
+        continue;
+      }
+      for (auto& inst : d->instances()) {
+        if (!inst->allocated || inst->pinned || inst->user_owned ||
+            inst->place.type() != data_place::kind::device ||
+            inst->place.device_index() != device) {
+          continue;
+        }
+        if (victim == nullptr || inst->last_use < victim->last_use) {
+          victim = inst.get();
+          victim_data = d.get();
+        }
+      }
+    }
+    if (victim == nullptr) {
+      throw std::bad_alloc();
+    }
+
+    event_list free_deps;
+    if (victim->state == msi_state::modified) {
+      // Only valid copy: stage to host memory first.
+      data_instance& host = victim_data->instance_at(data_place::host());
+      if (!host.allocated) {
+        host.ptr = ::operator new(victim_data->bytes());
+        host.allocated = true;
+      }
+      issue_copy(*this, *victim_data, *victim, host);
+      host.state = msi_state::modified;  // device copy is about to vanish
+    }
+    free_deps.merge(victim->readers);
+    free_deps.merge(victim->writer);
+    backend->free_device(device, victim->ptr, free_deps, dangling);
+    victim->allocated = false;
+    victim->ptr = nullptr;
+    victim->state = msi_state::invalid;
+    victim->readers.clear();
+    victim->writer.clear();
+    backend->mutable_stats().evictions += 1;
+  }
+}
+
+}  // namespace cudastf

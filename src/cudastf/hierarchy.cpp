@@ -1,0 +1,202 @@
+#include "cudastf/hierarchy.hpp"
+
+#include <thread>
+
+namespace cudastf {
+
+namespace {
+constexpr std::size_t scratch_capacity = 256u << 10;  // per group, like SMEM
+}
+
+/// Runtime state shared by all logical threads of one device's launch.
+struct thread_hierarchy::exec_state {
+  std::array<std::size_t, max_levels> widths{};
+  std::array<bool, max_levels> concurrent{};
+  int depth = 0;
+  int c0 = 0;  ///< outermost concurrent level (== depth if none)
+
+  // Per level k in [c0, depth): one barrier and one scratch arena per group,
+  // where a group is the set of threads sharing coords[c0..k).
+  std::vector<std::vector<std::unique_ptr<std::barrier<>>>> barriers;
+  std::vector<std::vector<std::unique_ptr<std::byte[]>>> arenas;
+
+  std::size_t size_from(int level) const {
+    std::size_t s = 1;
+    for (int i = level; i < depth; ++i) {
+      s *= widths[static_cast<std::size_t>(i)];
+    }
+    return s;
+  }
+
+  std::size_t group_index(const std::array<std::size_t, max_levels>& coords,
+                          int level) const {
+    std::size_t g = 0;
+    for (int i = c0; i < level; ++i) {
+      g = g * widths[static_cast<std::size_t>(i)] + coords[static_cast<std::size_t>(i)];
+    }
+    return g;
+  }
+};
+
+std::size_t thread_hierarchy::rank() const {
+  std::size_t r = 0;
+  for (int i = level_; i < st_->depth; ++i) {
+    r = r * st_->widths[static_cast<std::size_t>(i)] + coords_[static_cast<std::size_t>(i)];
+  }
+  return r;
+}
+
+std::size_t thread_hierarchy::size() const { return st_->size_from(level_); }
+
+int thread_hierarchy::depth() const { return st_->depth - level_; }
+int thread_hierarchy::depth_total() const { return st_->depth; }
+
+std::size_t thread_hierarchy::width(int level) const {
+  return st_->widths[static_cast<std::size_t>(level_ + level)];
+}
+
+void thread_hierarchy::sync() {
+  if (!st_->concurrent[static_cast<std::size_t>(level_)]) {
+    throw std::logic_error(
+        "cudastf: sync() on a par() level — only con() levels may "
+        "synchronize");
+  }
+  const std::size_t g = st_->group_index(coords_, level_);
+  st_->barriers[static_cast<std::size_t>(level_ - st_->c0)][g]->arrive_and_wait();
+}
+
+void* thread_hierarchy::scratch_bytes(std::size_t bytes, std::size_t align) {
+  if (level_ < st_->c0) {
+    throw std::logic_error(
+        "cudastf: scratchpad() above the concurrent region has no shared "
+        "storage");
+  }
+  const std::size_t g = st_->group_index(coords_, level_);
+  std::byte* arena =
+      st_->arenas[static_cast<std::size_t>(level_ - st_->c0)][g].get();
+  std::size_t& off = scratch_off_[static_cast<std::size_t>(level_)];
+  off = (off + align - 1) / align * align;
+  if (off + bytes > scratch_capacity) {
+    throw std::bad_alloc();
+  }
+  void* p = arena + off;
+  off += bytes;
+  return p;
+}
+
+std::array<std::size_t, 3> thread_hierarchy::partition_span(std::size_t n) const {
+  // Blocked per level from this level down to (but excluding) the
+  // innermost, cyclic at the innermost level (§V-3).
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  for (int lev = level_; lev < st_->depth - 1; ++lev) {
+    const std::size_t w = st_->widths[static_cast<std::size_t>(lev)];
+    const std::size_t c = coords_[static_cast<std::size_t>(lev)];
+    const std::size_t len = hi - lo;
+    const std::size_t new_lo = lo + c * len / w;
+    const std::size_t new_hi = lo + (c + 1) * len / w;
+    lo = new_lo;
+    hi = new_hi;
+  }
+  const std::size_t inner_w = st_->widths[static_cast<std::size_t>(st_->depth - 1)];
+  const std::size_t inner_c = coords_[static_cast<std::size_t>(st_->depth - 1)];
+  return {lo + inner_c, hi, inner_w};
+}
+
+void run_hierarchy(const hierarchy_spec& spec, int device_ordinal,
+                   int num_devices,
+                   const std::function<void(thread_hierarchy&)>& body) {
+  thread_hierarchy::exec_state st;
+  st.depth = spec.depth();
+  for (int i = 0; i < st.depth; ++i) {
+    st.widths[static_cast<std::size_t>(i)] = spec.resolved_width(i, num_devices);
+    st.concurrent[static_cast<std::size_t>(i)] = spec.level(i).concurrent;
+  }
+  st.c0 = st.depth;
+  for (int i = 0; i < st.depth; ++i) {
+    if (st.concurrent[static_cast<std::size_t>(i)]) {
+      st.c0 = i;
+      break;
+    }
+  }
+
+  // Barriers and scratch arenas for the concurrent region.
+  for (int k = st.c0; k < st.depth; ++k) {
+    std::size_t groups = 1;
+    for (int i = st.c0; i < k; ++i) {
+      groups *= st.widths[static_cast<std::size_t>(i)];
+    }
+    const auto barrier_size = static_cast<std::ptrdiff_t>(st.size_from(k));
+    std::vector<std::unique_ptr<std::barrier<>>> bars;
+    std::vector<std::unique_ptr<std::byte[]>> ars;
+    for (std::size_t g = 0; g < groups; ++g) {
+      bars.push_back(std::make_unique<std::barrier<>>(barrier_size));
+      ars.push_back(std::make_unique<std::byte[]>(scratch_capacity));
+    }
+    st.barriers.push_back(std::move(bars));
+    st.arenas.push_back(std::move(ars));
+  }
+
+  // Sequential region: levels [0, c0). The outermost level is split across
+  // devices; remaining sequential levels iterate in full.
+  const std::size_t w0 = st.depth > 0 ? st.widths[0] : 1;
+  // When the outermost level is concurrent (c0 == 0) the whole hierarchy is
+  // one thread region; the "sequential outer" loop degenerates to one pass.
+  std::size_t outer_lo = 0;
+  std::size_t outer_hi = st.c0 == 0 ? 1 : w0;
+  if (st.c0 > 0 && num_devices > 1) {
+    outer_lo = static_cast<std::size_t>(device_ordinal) * w0 /
+               static_cast<std::size_t>(num_devices);
+    outer_hi = static_cast<std::size_t>(device_ordinal + 1) * w0 /
+               static_cast<std::size_t>(num_devices);
+  } else if (st.c0 == 0 && num_devices > 1) {
+    throw std::logic_error(
+        "cudastf: a hierarchy whose outermost level is con() cannot span "
+        "multiple devices (no cross-device synchronization)");
+  }
+
+  std::size_t seq_rest = 1;  // product of sequential widths below level 0
+  for (int i = 1; i < st.c0; ++i) {
+    seq_rest *= st.widths[static_cast<std::size_t>(i)];
+  }
+  const std::size_t k_threads = st.size_from(st.c0);
+
+  std::array<std::size_t, max_levels> coords{};
+  for (std::size_t outer = outer_lo; outer < outer_hi; ++outer) {
+    for (std::size_t rest = 0; rest < seq_rest; ++rest) {
+      if (st.c0 > 0) {
+        coords[0] = outer;
+      }
+      std::size_t r = rest;
+      for (int i = st.c0 - 1; i >= 1; --i) {
+        coords[static_cast<std::size_t>(i)] = r % st.widths[static_cast<std::size_t>(i)];
+        r /= st.widths[static_cast<std::size_t>(i)];
+      }
+      if (k_threads == 1 && st.c0 == st.depth) {
+        // Purely sequential hierarchy: one call per logical thread.
+        thread_hierarchy th(&st, 0, coords);
+        body(th);
+        continue;
+      }
+      std::vector<std::thread> workers;
+      workers.reserve(k_threads);
+      for (std::size_t t = 0; t < k_threads; ++t) {
+        std::array<std::size_t, max_levels> tc = coords;
+        std::size_t id = t;
+        for (int i = st.depth - 1; i >= st.c0; --i) {
+          tc[static_cast<std::size_t>(i)] = id % st.widths[static_cast<std::size_t>(i)];
+          id /= st.widths[static_cast<std::size_t>(i)];
+        }
+        workers.emplace_back([&st, tc, &body] {
+          thread_hierarchy th(&st, 0, tc);
+          body(th);
+        });
+      }
+      for (auto& w : workers) {
+        w.join();
+      }
+    }
+  }
+}
+
+}  // namespace cudastf

@@ -1,0 +1,171 @@
+// Context backends (§III-A). Both backends implement the same abstract
+// interface in terms of abstract events: the stream backend lowers every
+// operation to simulated CUDA streams/events, the graph backend records the
+// same operations as CUDA graph nodes and launches whole epochs at once,
+// memoizing executable graphs across epochs (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cudasim/cudasim.hpp"
+#include "cudastf/events.hpp"
+
+namespace cudastf {
+
+/// Stream-pool configuration (§VII-C ablation).
+enum class stream_pool_mode : std::uint8_t {
+  pooled,       ///< default: several compute streams + dedicated copy streams
+  two_streams,  ///< one compute stream + one copy stream per device
+  single,       ///< one stream for everything on each device
+};
+
+/// Counters exposed for tests and the memoization experiments.
+struct backend_stats {
+  std::uint64_t tasks = 0;
+  std::uint64_t graph_instantiations = 0;
+  std::uint64_t graph_updates = 0;
+  std::uint64_t graph_launches = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t evictions = 0;  // maintained by the context allocator
+};
+
+/// The abstract asynchronous substrate the STF core is written against.
+/// Every operation takes a list of input events and returns the event that
+/// signals its completion (§IV-B).
+class backend_iface {
+ public:
+  enum class channel : std::uint8_t { compute, transfer, host };
+
+  virtual ~backend_iface() = default;
+
+  virtual cudasim::platform& plat() = 0;
+
+  /// Schedules `payload` after `deps`. The payload receives a stream bound
+  /// to `device` (ignored for the host channel) and submits asynchronous
+  /// work to it; it must not block. Returns the completion event.
+  virtual event_ptr run(int device, channel ch, const event_list& deps,
+                        const std::function<void(cudasim::stream&)>& payload,
+                        std::string_view name) = 0;
+
+  /// Stream-ordered device allocation. Returns nullptr when the device pool
+  /// is exhausted (the caller reacts, e.g. by evicting). On success appends
+  /// the allocation's completion event to `out`.
+  virtual void* alloc_device(int device, std::size_t bytes, event_list& out) = 0;
+
+  /// Asynchronously frees `p` once `deps` completed; appends the completion
+  /// of the free to `dangling` (§IV-D).
+  virtual void free_device(int device, void* p, const event_list& deps,
+                           event_list& dangling) = 0;
+
+  /// Host-blocking wait on a list of abstract events.
+  virtual void wait(const event_list& l) = 0;
+
+  /// Non-blocking epoch boundary (ctx.fence()). The graph backend closes
+  /// the current graph, reuses or instantiates an executable and launches
+  /// it; the stream backend has nothing to flush.
+  virtual void fence() = 0;
+
+  /// Blocks until every operation ever submitted has completed.
+  virtual void wait_idle() = 0;
+
+  const backend_stats& stats() const { return stats_; }
+  backend_stats& mutable_stats() { return stats_; }
+
+ protected:
+  backend_stats stats_;
+};
+
+/// CUDA-stream backend: per-device pools of compute streams and copy
+/// streams; dependencies lowered to simulated CUDA events; no host-side
+/// synchronization anywhere on the submission path (§IV-A).
+class stream_backend final : public backend_iface {
+ public:
+  explicit stream_backend(cudasim::platform& p,
+                          stream_pool_mode mode = stream_pool_mode::pooled,
+                          int pool_size = 4);
+
+  cudasim::platform& plat() override { return *plat_; }
+  event_ptr run(int device, channel ch, const event_list& deps,
+                const std::function<void(cudasim::stream&)>& payload,
+                std::string_view name) override;
+  void* alloc_device(int device, std::size_t bytes, event_list& out) override;
+  void free_device(int device, void* p, const event_list& deps,
+                   event_list& dangling) override;
+  void wait(const event_list& l) override;
+  void fence() override {}
+  void wait_idle() override;
+
+ private:
+  struct per_device {
+    std::vector<std::unique_ptr<cudasim::stream>> compute;
+    std::vector<std::unique_ptr<cudasim::stream>> copy;
+    std::unique_ptr<cudasim::stream> alloc;
+    std::size_t next_compute = 0;
+    std::size_t next_copy = 0;
+  };
+
+  cudasim::stream& pick(int device, channel ch);
+
+  cudasim::platform* plat_;
+  std::vector<per_device> dev_;
+  std::unique_ptr<cudasim::stream> host_stream_;
+};
+
+/// CUDA-graph backend: operations of one epoch are recorded as graph nodes;
+/// ctx.fence() ends the epoch, looks up a cache of executable graphs by
+/// task summary, updates an existing executable when the topology matches
+/// (cheap) or instantiates a new one (expensive), then launches it.
+class graph_backend final : public backend_iface {
+ public:
+  explicit graph_backend(cudasim::platform& p);
+
+  cudasim::platform& plat() override { return *plat_; }
+  event_ptr run(int device, channel ch, const event_list& deps,
+                const std::function<void(cudasim::stream&)>& payload,
+                std::string_view name) override;
+  void* alloc_device(int device, std::size_t bytes, event_list& out) override;
+  void free_device(int device, void* p, const event_list& deps,
+                   event_list& dangling) override;
+  void wait(const event_list& l) override;
+  void fence() override;
+  void wait_idle() override;
+
+ private:
+  void ensure_epoch();
+  /// Closes the current epoch graph (if any) and launches it.
+  void flush();
+
+  cudasim::platform* plat_;
+  std::unique_ptr<cudasim::stream> epoch_stream_;  ///< serializes epoch launches
+  std::vector<std::unique_ptr<cudasim::stream>> capture_;  ///< one per device
+  std::unique_ptr<cudasim::stream> host_capture_;          ///< host-channel capture
+  std::vector<std::unique_ptr<cudasim::stream>> alloc_;    ///< real alloc streams
+
+  std::unique_ptr<cudasim::graph> cur_;      ///< epoch under construction
+  std::uint64_t epoch_ = 0;                  ///< id of epoch under construction
+  std::uint64_t summary_ = 1469598103934665603ull;  ///< FNV accumulator
+  event_list external_deps_;  ///< real-stream events the epoch launch waits on
+  /// Memoization cache: summary hash -> executables with that summary.
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<cudasim::graph_exec>>>
+      cache_;
+  std::shared_ptr<backend_event> last_epoch_done_;  ///< stream_event of last flush
+};
+
+/// Concrete event types (exposed for tests).
+struct stream_event final : backend_event {
+  explicit stream_event(cudasim::platform& p) : ev(p) {}
+  cudasim::event ev;
+};
+
+struct graph_node_event final : backend_event {
+  cudasim::graph_node node;
+  std::uint64_t epoch = 0;
+};
+
+}  // namespace cudastf

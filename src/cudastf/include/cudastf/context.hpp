@@ -1,0 +1,163 @@
+// The context (§II): entry point for API calls and state container.
+// A default-constructed context uses the CUDA-stream backend; a context
+// created with context::graph() lowers everything to CUDA graphs (§III).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cudasim/cudasim.hpp"
+#include "cudastf/backend.hpp"
+#include "cudastf/context_state.hpp"
+#include "cudastf/launch.hpp"
+#include "cudastf/logical_data.hpp"
+#include "cudastf/parallel_for.hpp"
+#include "cudastf/task.hpp"
+
+namespace cudastf {
+
+class context {
+ public:
+  /// Stream backend on the process-default platform.
+  context() : context(cudasim::default_platform()) {}
+
+  /// Stream backend on an explicit platform, with stream-pool control
+  /// (§VII-C ablation).
+  explicit context(cudasim::platform& p,
+                   stream_pool_mode mode = stream_pool_mode::pooled,
+                   int pool_size = 4)
+      : st_(std::make_shared<context_state>()) {
+    st_->plat = &p;
+    st_->backend = std::make_unique<stream_backend>(p, mode, pool_size);
+  }
+
+  /// Graph backend (§III-A): same task interface, all operations lowered to
+  /// CUDA graphs, with epoch memoization via ctx.fence().
+  static context graph() { return graph(cudasim::default_platform()); }
+  static context graph(cudasim::platform& p) {
+    context c(p);
+    c.st_->backend = std::make_unique<graph_backend>(p);
+    return c;
+  }
+
+  // --- logical data factories (§II-A) ---
+
+  /// Tracks a C-array living in host memory (write-back on finalize).
+  template <class E, std::size_t N>
+  cudastf::logical_data<slice<E>> logical_data(E (&arr)[N], std::string name = "data") {
+    return from_ptr<E, 1>(arr, {N}, std::move(name));
+  }
+
+  /// Tracks `n` contiguous elements at `p` in host memory.
+  template <class E>
+  cudastf::logical_data<slice<E>> logical_data(E* p, std::size_t n,
+                                               std::string name = "data") {
+    return from_ptr<E, 1>(p, {n}, std::move(name));
+  }
+
+  /// Tracks a dense row-major matrix in host memory.
+  template <class E>
+  cudastf::logical_data<slice<E, 2>> logical_data(E* p, std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::string name = "data") {
+    return from_ptr<E, 2>(p, {rows, cols}, std::move(name));
+  }
+
+  /// Tracks the memory viewed by an existing slice.
+  template <class E, int R>
+  cudastf::logical_data<slice<E, R>> logical_data(const slice<E, R>& view,
+                                                  std::string name = "data") {
+    std::vector<std::size_t> ext(view.extents().begin(), view.extents().end());
+    return cudastf::logical_data<slice<E, R>>(register_impl(
+        std::move(ext), sizeof(E), const_cast<std::remove_const_t<E>*>(
+                                       view.data_handle()),
+        std::move(name)));
+  }
+
+  /// Creates logical data from a shape only — no host backing; the runtime
+  /// allocates instances on demand (temporary data, §IV-D).
+  template <class E, int R>
+  cudastf::logical_data<slice<E, R>> logical_data(const box<R>& shape,
+                                                  std::string name = "tmp") {
+    std::vector<std::size_t> ext(shape.extents().begin(), shape.extents().end());
+    return cudastf::logical_data<slice<E, R>>(
+        register_impl(std::move(ext), sizeof(E), nullptr, std::move(name)));
+  }
+
+  // --- task constructs ---
+
+  template <class... Deps>
+  task_builder<Deps...> task(Deps... deps) {
+    return task_builder<Deps...>(st_, exec_place::current_device(),
+                                 std::move(deps)...);
+  }
+  template <class... Deps>
+  task_builder<Deps...> task(exec_place where, Deps... deps) {
+    return task_builder<Deps...>(st_, std::move(where), std::move(deps)...);
+  }
+
+  template <class... Deps>
+  host_launch_builder<Deps...> host_launch(Deps... deps) {
+    return host_launch_builder<Deps...>(st_, std::move(deps)...);
+  }
+
+  template <int R, class... Deps>
+  parallel_for_builder<R, Deps...> parallel_for(box<R> shape, Deps... deps) {
+    return parallel_for_builder<R, Deps...>(
+        st_, exec_place::current_device(), shape, std::move(deps)...);
+  }
+  template <int R, class... Deps>
+  parallel_for_builder<R, Deps...> parallel_for(exec_place where, box<R> shape,
+                                                Deps... deps) {
+    return parallel_for_builder<R, Deps...>(st_, std::move(where), shape,
+                                            std::move(deps)...);
+  }
+
+  template <class... Deps>
+  launch_builder<Deps...> launch(hierarchy_spec spec, exec_place where,
+                                 Deps... deps) {
+    return launch_builder<Deps...>(st_, spec, std::move(where),
+                                   std::move(deps)...);
+  }
+
+  // --- synchronization ---
+
+  /// Non-blocking epoch boundary (§III-B): the graph backend closes and
+  /// launches the epoch's graph, reusing memoized executables.
+  void fence() {
+    std::lock_guard lock(st_->mu);
+    st_->backend->fence();
+  }
+
+  /// Waits for all pending operations — tasks, transfers, destructions —
+  /// and writes every host-backed logical data back to its original
+  /// location (§II-B).
+  void finalize();
+
+  // --- configuration & introspection ---
+
+  /// When disabled, kernel bodies are skipped: virtual-time benchmarking at
+  /// paper scale without host-side numerics (see DESIGN.md §1).
+  void set_compute_payloads(bool on) { st_->compute_payloads = on; }
+
+  cudasim::platform& platform() { return *st_->plat; }
+  const backend_stats& stats() const { return st_->backend->stats(); }
+
+ private:
+  template <class E, int R>
+  cudastf::logical_data<slice<E, R>> from_ptr(E* p,
+                                              std::vector<std::size_t> ext,
+                                              std::string name) {
+    return cudastf::logical_data<slice<E, R>>(register_impl(
+        std::move(ext), sizeof(E),
+        const_cast<std::remove_const_t<E>*>(p), std::move(name)));
+  }
+
+  data_impl_ptr register_impl(std::vector<std::size_t> extents,
+                              std::size_t elem_size, void* host_ptr,
+                              std::string name);
+
+  std::shared_ptr<context_state> st_;
+};
+
+}  // namespace cudastf

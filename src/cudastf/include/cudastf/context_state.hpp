@@ -1,0 +1,54 @@
+// Shared state behind a context handle. Lives as long as any logical_data
+// created from the context, so destruction-time cleanup always has a
+// backend to talk to (§IV-D).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cudasim/cudasim.hpp"
+#include "cudastf/backend.hpp"
+#include "cudastf/events.hpp"
+
+namespace cudastf {
+
+class logical_data_impl;
+
+struct context_state {
+  cudasim::platform* plat = nullptr;
+  std::unique_ptr<backend_iface> backend;
+
+  /// Serializes task submission; multiple CPU threads may inject tasks
+  /// concurrently (§VII-E).
+  std::recursive_mutex mu;
+
+  /// Every live logical data, for the eviction scan (weak: registration
+  /// does not keep data alive).
+  std::vector<std::weak_ptr<logical_data_impl>> registry;
+
+  /// Completion events of asynchronous destructions (§IV-D); awaited at
+  /// fence/finalize time.
+  event_list dangling;
+
+  /// When false, kernels submit with empty bodies: virtual-time benches at
+  /// paper scale without paying host-side numerics.
+  bool compute_payloads = true;
+
+  /// LRU clock for eviction.
+  std::uint64_t use_counter = 0;
+
+  /// Estimated accumulated work per device (seconds), maintained by the
+  /// HEFT-style automatic placement policy (§IX extension).
+  std::vector<double> heft_load;
+
+  /// Allocates a device instance buffer, evicting least-recently-used
+  /// unpinned instances from the device if the pool is full.
+  /// Appends allocation-completion events to `out`; throws std::bad_alloc
+  /// if nothing can be evicted.
+  void* alloc_with_eviction(int device, std::size_t bytes, event_list& out);
+
+  void sweep_registry();
+};
+
+}  // namespace cudastf

@@ -1,0 +1,20 @@
+// CUDASTF reproduction — umbrella header.
+//
+// Sequential Task Flow over a (simulated) CUDA platform: tasks with
+// data-driven dependencies, logical data with asynchronous MSI coherency,
+// stream and graph backends, structured kernels over thread hierarchies,
+// and multi-device execution/data placement. See README.md and DESIGN.md.
+#pragma once
+
+#include "cudastf/backend.hpp"
+#include "cudastf/context.hpp"
+#include "cudastf/events.hpp"
+#include "cudastf/hierarchy.hpp"
+#include "cudastf/launch.hpp"
+#include "cudastf/logical_data.hpp"
+#include "cudastf/parallel_for.hpp"
+#include "cudastf/partition.hpp"
+#include "cudastf/places.hpp"
+#include "cudastf/shape.hpp"
+#include "cudastf/slice.hpp"
+#include "cudastf/task.hpp"

@@ -1,0 +1,136 @@
+// Logical data (§II-A) and the asynchronous MSI coherency protocol (§IV-C).
+//
+// A logical_data identifies a piece of data that may have multiple coherent
+// replicas (data instances) in distinct physical memories. Each instance
+// carries a *future* MSI state plus two event lists saying when the
+// instance can be read and when it can be modified — the protocol never
+// blocks the submitting thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cudasim/cudasim.hpp"
+#include "cudastf/backend.hpp"
+#include "cudastf/events.hpp"
+#include "cudastf/places.hpp"
+#include "cudastf/shape.hpp"
+
+namespace cudastf {
+
+struct context_state;
+
+/// Access modes of a task dependency.
+enum class access_mode : std::uint8_t {
+  read,   ///< concurrent with other readers
+  write,  ///< full overwrite: previous contents need not be fetched
+  rw,     ///< read-modify-write
+};
+
+inline bool mode_reads(access_mode m) { return m != access_mode::write; }
+inline bool mode_writes(access_mode m) { return m != access_mode::read; }
+
+/// The (future) coherency state of one data instance.
+enum class msi_state : std::uint8_t { invalid, shared, modified };
+
+/// One replica of a logical data object at a particular data place.
+struct data_instance {
+  data_place place = data_place::host();
+  void* ptr = nullptr;
+  std::unique_ptr<cudasim::vmm::reservation> resv;  ///< composite backing
+  msi_state state = msi_state::invalid;
+  bool allocated = false;
+  bool user_owned = false;  ///< host memory owned by the application
+  bool pinned = false;      ///< protected from eviction during a prologue
+  std::uint64_t last_use = 0;
+  event_list readers;  ///< pending ops reading this instance
+  event_list writer;   ///< pending op(s) writing this instance
+};
+
+/// Type-erased core of logical_data<T>. All mutation happens under the
+/// owning context's submission lock.
+class logical_data_impl {
+ public:
+  logical_data_impl(std::shared_ptr<context_state> st,
+                    std::vector<std::size_t> extents, std::size_t elem_size,
+                    void* host_ptr, std::string name);
+  ~logical_data_impl();
+
+  logical_data_impl(const logical_data_impl&) = delete;
+  logical_data_impl& operator=(const logical_data_impl&) = delete;
+
+  std::size_t bytes() const { return bytes_; }
+  std::size_t element_count() const { return elements_; }
+  std::size_t elem_size() const { return elem_size_; }
+  const std::vector<std::size_t>& extents() const { return extents_; }
+  const std::string& name() const { return name_; }
+  context_state& ctx() const { return *st_; }
+
+  /// Instance bookkeeping (used by the task machinery and tests).
+  data_instance& instance_at(const data_place& place);
+  data_instance* find_instance(const data_place& place);
+  std::size_t instance_count() const { return instances_.size(); }
+  const std::vector<std::unique_ptr<data_instance>>& instances() const {
+    return instances_;
+  }
+
+  // Task-level STF bookkeeping (RAW/WAR/WAW ordering, §II-B).
+  event_list last_writer;
+  event_list readers_since_write;
+
+  /// Set while a prologue runs so the allocator will not evict our
+  /// instances mid-acquire.
+  void pin_all(bool pinned);
+
+ private:
+  friend struct context_state;
+  std::shared_ptr<context_state> st_;
+  std::vector<std::size_t> extents_;
+  std::size_t elem_size_;
+  std::size_t elements_;
+  std::size_t bytes_;
+  std::string name_;
+  std::vector<std::unique_ptr<data_instance>> instances_;
+};
+
+using data_impl_ptr = std::shared_ptr<logical_data_impl>;
+
+/// One dependency of a task: data + access mode + requested data place.
+struct task_dep_untyped {
+  data_impl_ptr data;
+  access_mode mode = access_mode::read;
+  data_place place = data_place::affine();
+};
+
+// --- core protocol operations (implemented in data.cpp) ---
+
+/// Algorithm 2, per-dependency: enforce STF ordering, allocate the instance
+/// at the resolved place, make it coherent for `mode`. Returns the events
+/// that must complete before the task may start, with the instance left
+/// pinned until release_dep().
+event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
+                       const data_place& resolved);
+
+/// Epilogue: records the task's completion events into the STF and
+/// instance-level lists and unpins the instance.
+void release_dep(context_state& st, const task_dep_untyped& dep,
+                 const data_place& resolved, const event_list& done);
+
+/// Ensures the host instance holds a valid copy (write-back); returns the
+/// completion events of the copies issued (empty if already valid).
+event_list write_back_host(context_state& st, logical_data_impl& d);
+
+/// Resolves an affine data place against an execution device
+/// (device index, or -1 for host execution).
+data_place resolve_place(const data_place& requested, int exec_device);
+
+/// HEFT-style device selection (§IX extension): picks the device with the
+/// smallest estimated finish time = current estimated load + modelled
+/// transfer cost of dependencies whose valid copy lives elsewhere, then
+/// charges the chosen device with the task's estimated duration.
+int pick_heft_device(context_state& st,
+                     const task_dep_untyped* const* deps, std::size_t n_deps);
+
+}  // namespace cudastf

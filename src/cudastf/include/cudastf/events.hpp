@@ -1,0 +1,64 @@
+// Abstract events and event lists (§IV). The entire core of CUDASTF is
+// organized around lists of abstract events: every asynchronous algorithm
+// takes a list of input events and returns a list of output events.
+// Backends materialize events differently — the stream backend as recorded
+// simulated CUDA events, the graph backend as graph-node handles — and the
+// coherence machinery never looks inside.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cudastf {
+
+/// An abstract completion event. Concrete subclasses live in the backends.
+class backend_event {
+ public:
+  virtual ~backend_event() = default;
+};
+
+using event_ptr = std::shared_ptr<backend_event>;
+
+/// A list of abstract events; completion of the list means completion of
+/// every member. Lists are small (typically 0–4 entries) and copied freely.
+class event_list {
+ public:
+  event_list() = default;
+  explicit event_list(event_ptr e) {
+    if (e) {
+      events_.push_back(std::move(e));
+    }
+  }
+
+  void add(event_ptr e) {
+    if (e) {
+      events_.push_back(std::move(e));
+    }
+  }
+
+  /// l = merge(l, other) — the paper's fundamental composition primitive.
+  void merge(const event_list& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
+
+  void clear() { events_.clear(); }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  auto begin() const { return events_.begin(); }
+  auto end() const { return events_.end(); }
+
+ private:
+  std::vector<event_ptr> events_;
+};
+
+/// Convenience: merged copy of two lists.
+inline event_list merged(const event_list& a, const event_list& b) {
+  event_list out = a;
+  out.merge(b);
+  return out;
+}
+
+}  // namespace cudastf

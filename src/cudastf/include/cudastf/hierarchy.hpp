@@ -1,0 +1,194 @@
+// Thread-hierarchy specifications and the structured-kernel execution
+// machinery behind ctx.launch() (§V).
+//
+// A specification nests parallel levels — par(): no synchronization
+// allowed — and concurrent levels — con(): threads of the same group may
+// synchronize. Widths are static, dynamic, or automatic (0). launch() maps
+// the specification onto the devices of the execution place: the outermost
+// level is split across devices, concurrent chains run as real host
+// threads with std::barrier standing in for hardware synchronization.
+#pragma once
+
+#include <array>
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "cudastf/shape.hpp"
+
+namespace cudastf {
+
+inline constexpr int max_levels = 4;
+
+/// Hardware mapping hints (§V-1). In this reproduction scopes are honoured
+/// logically (they pick synchronization domains) rather than on real SMs.
+enum class hw_scope : std::uint8_t { none, thread, block, device };
+
+struct level_spec {
+  std::size_t width = 0;  ///< 0 = automatic
+  bool concurrent = false;
+  hw_scope scope = hw_scope::none;
+};
+
+/// An ordered list of levels, outermost first.
+class hierarchy_spec {
+ public:
+  hierarchy_spec() = default;
+
+  int depth() const { return depth_; }
+  const level_spec& level(int i) const {
+    return levels_[static_cast<std::size_t>(i)];
+  }
+
+  /// Width of level `i` after applying automatic-sizing defaults:
+  /// an automatic outermost level gets 8 groups per device; any other
+  /// automatic level gets 32 threads.
+  std::size_t resolved_width(int i, int num_devices) const {
+    const std::size_t w = levels_[static_cast<std::size_t>(i)].width;
+    if (w != 0) {
+      return w;
+    }
+    return i == 0 ? 8 * static_cast<std::size_t>(num_devices) : 32;
+  }
+
+  std::size_t total_threads(int num_devices) const {
+    std::size_t t = 1;
+    for (int i = 0; i < depth_; ++i) {
+      t *= resolved_width(i, num_devices);
+    }
+    return t;
+  }
+
+  /// Prepends a level (used by the par()/con() builders).
+  hierarchy_spec prepended(level_spec outer) const {
+    if (depth_ + 1 > max_levels) {
+      throw std::invalid_argument("cudastf: hierarchy too deep");
+    }
+    hierarchy_spec out;
+    out.depth_ = depth_ + 1;
+    out.levels_[0] = outer;
+    for (int i = 0; i < depth_; ++i) {
+      out.levels_[static_cast<std::size_t>(i + 1)] =
+          levels_[static_cast<std::size_t>(i)];
+    }
+    return out;
+  }
+
+  static hierarchy_spec single(level_spec l) {
+    hierarchy_spec out;
+    out.depth_ = 1;
+    out.levels_[0] = l;
+    return out;
+  }
+
+ private:
+  int depth_ = 0;
+  std::array<level_spec, max_levels> levels_{};
+};
+
+// --- specification builders (§V-1) ---
+
+/// par(): parallel level, automatic width, no synchronization.
+inline hierarchy_spec par() { return hierarchy_spec::single({0, false, hw_scope::none}); }
+inline hierarchy_spec par(std::size_t w) {
+  return hierarchy_spec::single({w, false, hw_scope::none});
+}
+inline hierarchy_spec par(const hierarchy_spec& inner) {
+  return inner.prepended({0, false, hw_scope::none});
+}
+inline hierarchy_spec par(std::size_t w, const hierarchy_spec& inner) {
+  return inner.prepended({w, false, hw_scope::none});
+}
+
+/// con(): concurrent level — threads within a group may synchronize.
+inline hierarchy_spec con(hw_scope scope = hw_scope::none) {
+  return hierarchy_spec::single({0, true, scope});
+}
+inline hierarchy_spec con(std::size_t w, hw_scope scope = hw_scope::none) {
+  return hierarchy_spec::single({w, true, scope});
+}
+inline hierarchy_spec con(const hierarchy_spec& inner) {
+  return inner.prepended({0, true, hw_scope::none});
+}
+inline hierarchy_spec con(std::size_t w, const hierarchy_spec& inner) {
+  return inner.prepended({w, true, hw_scope::none});
+}
+/// Static width sugar: con<32>() (the paper's static sizing).
+template <std::size_t W>
+hierarchy_spec con(hw_scope scope = hw_scope::none) {
+  return hierarchy_spec::single({W, true, scope});
+}
+template <std::size_t W>
+hierarchy_spec con(const hierarchy_spec& inner) {
+  return inner.prepended({W, true, hw_scope::none});
+}
+
+/// The typed handle a launch body receives (`th` in Fig. 6): rank/size of
+/// the (sub-)hierarchy, partitioning, synchronization, scratchpads.
+class thread_hierarchy {
+ public:
+  struct exec_state;
+
+  thread_hierarchy(exec_state* st, int level,
+                   std::array<std::size_t, max_levels> coords)
+      : st_(st), level_(level), coords_(coords) {}
+
+  /// Linear rank of the calling thread within this (sub-)hierarchy.
+  std::size_t rank() const;
+  /// Total number of logical threads in this (sub-)hierarchy.
+  std::size_t size() const;
+  int depth() const;
+  std::size_t width(int level) const;
+
+  /// Strips the outermost level (Fig. 6 line 15).
+  thread_hierarchy inner() const {
+    if (level_ + 1 >= depth_total()) {
+      throw std::logic_error("cudastf: inner() below the innermost level");
+    }
+    return thread_hierarchy(st_, level_ + 1, coords_);
+  }
+
+  /// Synchronizes the threads of this (sub-)hierarchy. Only concurrent
+  /// (con) levels may synchronize; par() levels throw (§V-1).
+  void sync();
+
+  /// Per-group scratch storage at this (sub-)hierarchy's level — the
+  /// stand-in for CUDA shared memory. All threads of the group receive the
+  /// same buffer; call sync() before relying on peers' writes.
+  template <class T>
+  T* scratchpad(std::size_t n) {
+    return static_cast<T*>(scratch_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Applies the default partitioning strategy (§V-3): blocked at outer
+  /// levels composed with a cyclic distribution at the innermost level.
+  template <int R>
+  sub_shape<R> apply_partition(const box<R>& s) const {
+    const auto span = partition_span(s.size());
+    return sub_shape<R>(s, span[0], span[1], span[2]);
+  }
+
+ private:
+  int depth_total() const;
+  std::array<std::size_t, 3> partition_span(std::size_t n) const;
+  void* scratch_bytes(std::size_t bytes, std::size_t align);
+
+  exec_state* st_;
+  int level_;
+  std::array<std::size_t, max_levels> coords_;
+  std::array<std::size_t, max_levels> scratch_off_{};
+};
+
+/// Executes the body for the slice of the hierarchy owned by device
+/// ordinal `device_ordinal` out of `num_devices` (§VI-A): the outermost
+/// level's groups are split evenly across devices; concurrent chains run
+/// as real threads.
+void run_hierarchy(const hierarchy_spec& spec, int device_ordinal,
+                   int num_devices,
+                   const std::function<void(thread_hierarchy&)>& body);
+
+}  // namespace cudastf

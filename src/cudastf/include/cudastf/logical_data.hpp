@@ -1,0 +1,81 @@
+// Typed logical-data handles and task dependencies (§II-A, §II-B).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cudastf/data.hpp"
+#include "cudastf/shape.hpp"
+#include "cudastf/slice.hpp"
+
+namespace cudastf {
+
+/// A typed task dependency: which data, how it is accessed, where the
+/// instance should live. `View` is the slice type handed to the task body
+/// (const element type for read-only access).
+template <class View>
+struct task_dep {
+  using view_t = View;
+  task_dep_untyped untyped;
+
+  /// Builds the typed view over the resolved instance's buffer.
+  View make_view(void* ptr) const {
+    return make_view_impl(ptr, std::make_index_sequence<View::rank()>{});
+  }
+
+ private:
+  template <std::size_t... I>
+  View make_view_impl(void* ptr, std::index_sequence<I...>) const {
+    using elem = typename View::element_type;
+    return View(static_cast<elem*>(ptr), untyped.data->extents()[I]...);
+  }
+};
+
+template <class T>
+class logical_data;
+
+/// Handle to a logical data object viewed as slice<E, R>. Handles are
+/// cheap shared references; the underlying object (and its device
+/// instances) lives until the last handle disappears, at which point
+/// cleanup happens asynchronously (§IV-D).
+template <class E, int R>
+class logical_data<slice<E, R>> {
+ public:
+  using view_t = slice<E, R>;
+  using const_view_t = slice<const E, R>;
+
+  logical_data() = default;
+  explicit logical_data(data_impl_ptr impl) : impl_(std::move(impl)) {}
+
+  /// Read-only access; concurrent among readers.
+  task_dep<const_view_t> read(data_place where = data_place::affine()) const {
+    return {task_dep_untyped{impl_, access_mode::read, std::move(where)}};
+  }
+  /// Read-modify-write access.
+  task_dep<view_t> rw(data_place where = data_place::affine()) const {
+    return {task_dep_untyped{impl_, access_mode::rw, std::move(where)}};
+  }
+  /// Write-only access: previous contents are not fetched.
+  task_dep<view_t> write(data_place where = data_place::affine()) const {
+    return {task_dep_untyped{impl_, access_mode::write, std::move(where)}};
+  }
+
+  box<R> get_shape() const {
+    typename box<R>::coords_t e{};
+    for (int d = 0; d < R; ++d) {
+      e[static_cast<std::size_t>(d)] = impl_->extents()[static_cast<std::size_t>(d)];
+    }
+    return box<R>(e);
+  }
+
+  std::size_t size() const { return impl_->element_count(); }
+  std::size_t size_bytes() const { return impl_->bytes(); }
+  const std::string& name() const { return impl_->name(); }
+  const data_impl_ptr& impl() const { return impl_; }
+  bool valid() const { return impl_ != nullptr; }
+
+ private:
+  data_impl_ptr impl_;
+};
+
+}  // namespace cudastf

@@ -1,0 +1,183 @@
+// ctx.parallel_for(shape, deps...)->*body (§V, Fig. 4): executes the body
+// once per shape coordinate as a generated kernel. On a grid execution
+// place the shape is split across devices with a blocked partition and
+// affine data moves to a composite data place (§VI), so the same body runs
+// unchanged on one or many devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cudastf/context_state.hpp"
+#include "cudastf/logical_data.hpp"
+#include "cudastf/partition.hpp"
+#include "cudastf/task.hpp"
+
+namespace cudastf::detail {
+
+/// Devices targeted by an execution place (grid resolution).
+std::vector<int> resolve_devices(const exec_place& where,
+                                 cudasim::platform& plat);
+
+/// The context-wide blocked partitioner used for default composite places
+/// (shared so equal composite places compare equal across tasks, §VI-C).
+std::shared_ptr<const partitioner> default_partitioner();
+
+/// Composite data place over `devices` with the default partitioner.
+data_place default_composite(const std::vector<int>& devices);
+
+/// Adds the traffic of one dependency's byte range [b0, b1) (fractions of
+/// the instance) to a kernel descriptor as local/remote/host bytes from the
+/// perspective of `device`.
+void add_dep_traffic(cudasim::kernel_desc& k, const task_dep_untyped& dep,
+                     const data_place& resolved, double frac0, double frac1,
+                     int device);
+
+template <class... Deps, std::size_t... I>
+void add_all_traffic(cudasim::kernel_desc& k,
+                     const std::array<data_place, sizeof...(Deps)>& resolved,
+                     const std::tuple<Deps...>& deps, double f0, double f1,
+                     int device, std::index_sequence<I...>) {
+  (add_dep_traffic(k, std::get<I>(deps).untyped, resolved[I], f0, f1, device),
+   ...);
+}
+
+/// Rebinds affine places to the composite default when running on a grid.
+template <class... Deps, std::size_t... I>
+void gridify_places(std::tuple<Deps...>& deps, const data_place& composite,
+                    std::index_sequence<I...>) {
+  ((std::get<I>(deps).untyped.place.is_affine()
+        ? void(std::get<I>(deps).untyped.place = composite)
+        : void()),
+   ...);
+}
+
+template <int R, class Fn, class Views, std::size_t... CI, std::size_t... VI>
+void invoke_elem(Fn& fn, const std::array<std::size_t, R>& c, Views& views,
+                 std::index_sequence<CI...>, std::index_sequence<VI...>) {
+  fn(c[CI]..., std::get<VI>(views)...);
+}
+
+}  // namespace cudastf::detail
+
+namespace cudastf {
+
+template <int R, class... Deps>
+class [[nodiscard]] parallel_for_builder {
+ public:
+  parallel_for_builder(std::shared_ptr<context_state> st, exec_place where,
+                       box<R> shape, Deps... deps)
+      : st_(std::move(st)), where_(std::move(where)), shape_(shape),
+        deps_(std::move(deps)...) {}
+
+  parallel_for_builder&& set_symbol(std::string s) && {
+    symbol_ = std::move(s);
+    return std::move(*this);
+  }
+  /// Overrides the cost model: FLOPs charged per shape element.
+  parallel_for_builder&& set_flops_per_element(double f) && {
+    flops_per_elem_ = f;
+    return std::move(*this);
+  }
+  /// Overrides the cost model: bytes charged per shape element
+  /// (default: the sum of dependency element sizes).
+  parallel_for_builder&& set_bytes_per_element(double b) && {
+    bytes_per_elem_ = b;
+    return std::move(*this);
+  }
+
+  template <class Fn>
+  void operator->*(Fn&& fn) && {
+    std::lock_guard lock(st_->mu);
+    constexpr auto seq = std::index_sequence_for<Deps...>{};
+
+    if (where_.is_host()) {
+      submit_host(std::forward<Fn>(fn), seq);
+      return;
+    }
+    const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
+    if (devices.size() > 1) {
+      detail::gridify_places(deps_, detail::default_composite(devices), seq);
+    }
+    std::array<data_place, sizeof...(Deps)> resolved;
+    event_list ready =
+        detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
+    auto views = detail::make_views(resolved, deps_, seq);
+
+    const std::size_t total = shape_.size();
+    const blocked_partitioner blocked;
+    event_list done;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const auto span = blocked.assign(total, i, devices.size());
+      const std::size_t elems = span.end - span.begin;
+      if (elems == 0 && devices.size() > 1) {
+        continue;
+      }
+      cudasim::kernel_desc k;
+      k.name = symbol_;
+      k.flops = static_cast<double>(elems) * flops_per_elem_ / efficiency_;
+      if (bytes_per_elem_ >= 0) {
+        k.bytes = static_cast<double>(elems) * bytes_per_elem_ / efficiency_;
+      } else if (total > 0) {
+        const double f0 = static_cast<double>(span.begin) / static_cast<double>(total);
+        const double f1 = static_cast<double>(span.end) / static_cast<double>(total);
+        detail::add_all_traffic(k, resolved, deps_, f0, f1, devices[i], seq);
+        k.bytes /= efficiency_;
+      }
+      std::function<void()> body;
+      if (st_->compute_payloads) {
+        auto shape = shape_;
+        body = [fn, views, shape, span]() mutable {
+          for (std::size_t lin = span.begin; lin < span.end; lin += span.stride) {
+            detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
+                                   std::make_index_sequence<R>{},
+                                   std::index_sequence_for<Deps...>{});
+          }
+        };
+      }
+      cudasim::platform* plat = st_->plat;
+      event_ptr ev = st_->backend->run(
+          devices[i], backend_iface::channel::compute, ready,
+          [plat, k, body](cudasim::stream& s) { plat->launch_kernel(s, k, body); },
+          symbol_);
+      done.add(ev);
+    }
+    detail::release_all(*st_, resolved, deps_, done, seq);
+  }
+
+ private:
+  template <class Fn, std::size_t... I>
+  void submit_host(Fn&& fn, std::index_sequence<I...> seq) {
+    std::array<data_place, sizeof...(Deps)> resolved;
+    event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
+    auto views = detail::make_views(resolved, deps_, seq);
+    cudasim::platform* plat = st_->plat;
+    auto shape = shape_;
+    auto payload = [plat, fn = std::forward<Fn>(fn), views,
+                    shape](cudasim::stream& s) mutable {
+      plat->launch_host_func(s, [fn, views, shape]() mutable {
+        for (std::size_t lin = 0; lin < shape.size(); ++lin) {
+          detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
+                                 std::make_index_sequence<R>{},
+                                 std::index_sequence_for<Deps...>{});
+        }
+      });
+    };
+    event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
+                                       payload, symbol_);
+    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+  }
+
+  std::shared_ptr<context_state> st_;
+  exec_place where_;
+  box<R> shape_;
+  std::tuple<Deps...> deps_;
+  std::string symbol_ = "parallel_for";
+  double flops_per_elem_ = 2.0;
+  double bytes_per_elem_ = -1.0;
+  double efficiency_ = 0.90;  ///< generated kernels vs hand-tuned libraries
+};
+
+}  // namespace cudastf

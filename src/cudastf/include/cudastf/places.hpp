@@ -1,0 +1,147 @@
+// Execution and data places (§II, §VI). exec_place decides where work runs
+// (a device, the host, or a grid of devices); data_place decides where a
+// data instance lives (affine to execution, a specific device, the host, or
+// a composite place spanning a grid through the VMM).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace cudastf {
+
+class partitioner;  // see partition.hpp
+
+/// Where computation executes.
+class exec_place {
+ public:
+  enum class kind : std::uint8_t { current_device, device, host, grid, automatic };
+
+  /// The current CUDA device (default behaviour in the paper).
+  static exec_place current_device() { return exec_place(kind::current_device, -1); }
+  /// Let the runtime choose the device per task with a HEFT-style
+  /// earliest-finish heuristic (data affinity + device load) — the §IX
+  /// "automatic scheduling of kernels using the HEFT strategy" extension.
+  static exec_place automatic() { return exec_place(kind::automatic, -1); }
+  /// A specific device, numbered from 0.
+  static exec_place device(int i) {
+    if (i < 0) {
+      throw std::invalid_argument("cudastf: negative device index");
+    }
+    return exec_place(kind::device, i);
+  }
+  /// Host-side execution (CPU task).
+  static exec_place host() { return exec_place(kind::host, -1); }
+  /// A grid over an explicit set of devices.
+  static exec_place grid(std::vector<int> devices) {
+    if (devices.empty()) {
+      throw std::invalid_argument("cudastf: empty device grid");
+    }
+    exec_place p(kind::grid, -1);
+    p.grid_devices_ = std::move(devices);
+    return p;
+  }
+  /// A grid of all devices installed on the platform backing the context.
+  /// (Resolved against the context's platform at task submission.)
+  static exec_place all_devices() {
+    exec_place p(kind::grid, -1);
+    p.all_ = true;
+    return p;
+  }
+
+  kind type() const { return kind_; }
+  bool is_grid() const { return kind_ == kind::grid; }
+  bool is_host() const { return kind_ == kind::host; }
+  bool wants_all_devices() const { return all_; }
+  int device_index() const { return dev_; }
+  const std::vector<int>& grid_devices() const { return grid_devices_; }
+  std::size_t size() const {
+    return kind_ == kind::grid ? grid_devices_.size() : 1;
+  }
+
+  bool operator==(const exec_place& o) const {
+    return kind_ == o.kind_ && dev_ == o.dev_ && all_ == o.all_ &&
+           grid_devices_ == o.grid_devices_;
+  }
+
+ private:
+  exec_place(kind k, int d) : kind_(k), dev_(d) {}
+  kind kind_;
+  int dev_;
+  bool all_ = false;
+  std::vector<int> grid_devices_;
+};
+
+/// Description of a composite data place (§VI-C): a grid of devices plus a
+/// partitioner. Two composite places compare equal — and therefore hit in
+/// the coherence cache — when they use the same grid and the same
+/// partitioner identity.
+struct composite_desc {
+  std::vector<int> devices;
+  std::shared_ptr<const partitioner> part;  // identity compared by pointer+key
+  std::uint64_t partitioner_key = 0;
+
+  bool operator==(const composite_desc& o) const {
+    return devices == o.devices && partitioner_key == o.partitioner_key;
+  }
+};
+
+/// Where a data instance lives.
+class data_place {
+ public:
+  enum class kind : std::uint8_t { affine, device, host, composite };
+
+  /// Default: affine (follow the execution place).
+  data_place() : data_place(kind::affine, -1) {}
+
+  /// Follow the execution place (the default: data is fetched as close as
+  /// possible to where the task runs).
+  static data_place affine() { return data_place(kind::affine, -1); }
+  static data_place device(int i) {
+    if (i < 0) {
+      throw std::invalid_argument("cudastf: negative device index");
+    }
+    return data_place(kind::device, i);
+  }
+  static data_place host() { return data_place(kind::host, -1); }
+  static data_place composite(composite_desc desc) {
+    data_place p(kind::composite, -1);
+    p.comp_ = std::make_shared<composite_desc>(std::move(desc));
+    return p;
+  }
+
+  kind type() const { return kind_; }
+  bool is_affine() const { return kind_ == kind::affine; }
+  bool is_composite() const { return kind_ == kind::composite; }
+  int device_index() const { return dev_; }
+  const composite_desc& composite_info() const {
+    if (!comp_) {
+      throw std::logic_error("cudastf: not a composite data place");
+    }
+    return *comp_;
+  }
+
+  bool operator==(const data_place& o) const {
+    if (kind_ != o.kind_ || dev_ != o.dev_) {
+      return false;
+    }
+    if (kind_ == kind::composite) {
+      return comp_ == o.comp_ || (comp_ && o.comp_ && *comp_ == *o.comp_);
+    }
+    return true;
+  }
+
+  /// Stable key for instance maps. Device places use the device index;
+  /// composite places hash their grid + partitioner identity.
+  std::uint64_t key() const;
+
+ private:
+  data_place(kind k, int d) : kind_(k), dev_(d) {}
+  kind kind_;
+  int dev_;
+  std::shared_ptr<composite_desc> comp_;
+};
+
+}  // namespace cudastf

@@ -1,0 +1,174 @@
+// Shapes (§II-A, §V-2): layout/size information without the data. A shape
+// provides size(), rank(), a coordinate type, index_to_coords() and a
+// random-access iterator over coordinates — the primitives the paper lists.
+//
+// box<R> is the dense R-dimensional rectangular shape [0,e0)x...x[0,eR-1).
+// sub_shape<R> is a strided linear subset of a box, produced by
+// partitioners and thread-hierarchy partitioning; it conforms to the same
+// iteration interface so user loops are agnostic of partitioning.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iterator>
+
+#include "cudastf/slice.hpp"
+
+namespace cudastf {
+
+/// Dense rectangular iteration space of rank R, row-major linearization.
+template <int R>
+class box {
+ public:
+  static_assert(R >= 1 && R <= 4);
+  using coords_t = std::array<std::size_t, R>;
+  static constexpr int rank() { return R; }
+
+  constexpr box() = default;
+
+  template <class... Extents,
+            class = std::enable_if_t<sizeof...(Extents) == R>>
+  constexpr explicit box(Extents... extents)
+      : extents_{static_cast<std::size_t>(extents)...} {}
+
+  constexpr explicit box(const std::array<std::size_t, R>& extents)
+      : extents_(extents) {}
+
+  constexpr std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t e : extents_) {
+      n *= e;
+    }
+    return n;
+  }
+
+  constexpr std::size_t extent(int d) const {
+    return extents_[static_cast<std::size_t>(d)];
+  }
+  constexpr const coords_t& extents() const { return extents_; }
+
+  /// Maps a linear (row-major) index to coordinates.
+  constexpr coords_t index_to_coords(std::size_t i) const {
+    coords_t c{};
+    for (int d = R - 1; d >= 0; --d) {
+      const std::size_t e = extents_[static_cast<std::size_t>(d)];
+      c[static_cast<std::size_t>(d)] = i % e;
+      i /= e;
+    }
+    return c;
+  }
+
+  /// Maps coordinates back to the linear index.
+  constexpr std::size_t coords_to_index(const coords_t& c) const {
+    std::size_t i = 0;
+    for (int d = 0; d < R; ++d) {
+      i = i * extents_[static_cast<std::size_t>(d)] + c[static_cast<std::size_t>(d)];
+    }
+    return i;
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = coords_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = coords_t;
+
+    constexpr iterator() = default;
+    constexpr iterator(const box* b, std::size_t i) : box_(b), i_(i) {}
+    constexpr coords_t operator*() const { return box_->index_to_coords(i_); }
+    constexpr iterator& operator++() { ++i_; return *this; }
+    constexpr iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    constexpr iterator& operator+=(difference_type n) { i_ += static_cast<std::size_t>(n); return *this; }
+    constexpr iterator operator+(difference_type n) const { iterator t = *this; t += n; return t; }
+    constexpr difference_type operator-(const iterator& o) const {
+      return static_cast<difference_type>(i_) - static_cast<difference_type>(o.i_);
+    }
+    constexpr bool operator==(const iterator& o) const { return i_ == o.i_; }
+    constexpr bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const box* box_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  constexpr iterator begin() const { return iterator(this, 0); }
+  constexpr iterator end() const { return iterator(this, size()); }
+
+  constexpr bool operator==(const box& o) const { return extents_ == o.extents_; }
+
+ private:
+  coords_t extents_{};
+};
+
+/// A strided linear subset of a box: linear indices begin, begin+stride, ...
+/// < end, dereferenced to coordinates. This single form covers both cyclic
+/// (stride = #workers) and blocked (stride = 1) partitions.
+template <int R>
+class sub_shape {
+ public:
+  using coords_t = typename box<R>::coords_t;
+  static constexpr int rank() { return R; }
+
+  constexpr sub_shape() = default;
+  constexpr sub_shape(const box<R>& base, std::size_t begin, std::size_t end,
+                      std::size_t stride)
+      : base_(base), begin_(begin), end_(end < begin ? begin : end),
+        stride_(stride == 0 ? 1 : stride) {}
+
+  constexpr std::size_t size() const {
+    return begin_ >= end_ ? 0 : (end_ - begin_ - 1) / stride_ + 1;
+  }
+  constexpr const box<R>& base() const { return base_; }
+  constexpr std::size_t linear_begin() const { return begin_; }
+  constexpr std::size_t linear_end() const { return end_; }
+  constexpr std::size_t stride() const { return stride_; }
+
+  constexpr coords_t index_to_coords(std::size_t i) const {
+    return base_.index_to_coords(begin_ + i * stride_);
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = coords_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = coords_t;
+
+    constexpr iterator() = default;
+    constexpr iterator(const sub_shape* s, std::size_t lin) : s_(s), lin_(lin) {}
+    constexpr coords_t operator*() const { return s_->base().index_to_coords(lin_); }
+    constexpr iterator& operator++() { lin_ += s_->stride(); return *this; }
+    constexpr iterator operator++(int) { iterator t = *this; ++*this; return t; }
+    constexpr bool operator==(const iterator& o) const {
+      const bool a_end = lin_ >= s_->linear_end();
+      const bool b_end = o.lin_ >= o.s_->linear_end();
+      return (a_end || b_end) ? a_end == b_end : lin_ == o.lin_;
+    }
+    constexpr bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    const sub_shape* s_ = nullptr;
+    std::size_t lin_ = 0;
+  };
+
+  constexpr iterator begin() const { return iterator(this, begin_); }
+  constexpr iterator end() const { return iterator(this, end_); }
+
+ private:
+  box<R> base_{};
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// shape(x): the shape of a slice (extents without data), as used in the
+/// paper's kernels: `th.apply_partition(shape(B))`.
+template <class T, int R>
+constexpr box<R> shape(const slice<T, R>& s) {
+  return box<R>(s.extents());
+}
+
+}  // namespace cudastf

@@ -1,0 +1,100 @@
+// slice<T, Rank>: a minimal multidimensional view in the spirit of
+// std::mdspan (the paper's slice<T> is an alias of std::mdspan
+// instantiations; GCC 12's libstdc++ predates mdspan, so this is a
+// from-scratch equivalent restricted to what the reproduction needs:
+// row-major dense views of rank 1..4 with optional bounds checking).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+
+#ifdef CUDASTF_BOUNDS_CHECK
+#include <stdexcept>
+#endif
+
+namespace cudastf {
+
+/// A non-owning dense row-major view over `Rank`-dimensional data.
+/// `T` may be const-qualified for read-only views.
+template <class T, int Rank = 1>
+class slice {
+ public:
+  static_assert(Rank >= 1 && Rank <= 4, "slice supports rank 1..4");
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  static constexpr int rank() { return Rank; }
+
+  constexpr slice() = default;
+
+  /// Dense row-major view: extents given slowest-varying first, i.e.
+  /// slice<double,2>(p, rows, cols) indexes as s(i, j) == p[i*cols + j].
+  template <class... Extents,
+            class = std::enable_if_t<sizeof...(Extents) == Rank>>
+  constexpr slice(T* data, Extents... extents)
+      : data_(data), extents_{static_cast<std::size_t>(extents)...} {
+    std::size_t stride = 1;
+    for (int d = Rank - 1; d >= 0; --d) {
+      strides_[static_cast<std::size_t>(d)] = stride;
+      stride *= extents_[static_cast<std::size_t>(d)];
+    }
+  }
+
+  /// Implicit conversion slice<T> -> slice<const T> (read-only adoption).
+  template <class U, class = std::enable_if_t<
+                         std::is_same_v<std::remove_const_t<T>, U> &&
+                         std::is_const_v<T>>>
+  constexpr slice(const slice<U, Rank>& other)
+      : data_(other.data_handle()), extents_(other.extents()),
+        strides_(other.strides()) {}
+
+  constexpr T* data_handle() const { return data_; }
+  constexpr const std::array<std::size_t, Rank>& extents() const {
+    return extents_;
+  }
+  constexpr const std::array<std::size_t, Rank>& strides() const {
+    return strides_;
+  }
+  constexpr std::size_t extent(int d) const {
+    return extents_[static_cast<std::size_t>(d)];
+  }
+  constexpr std::size_t stride(int d) const {
+    return strides_[static_cast<std::size_t>(d)];
+  }
+
+  /// Total element count.
+  constexpr std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t e : extents_) {
+      n *= e;
+    }
+    return n;
+  }
+
+  /// Total bytes viewed.
+  constexpr std::size_t size_bytes() const { return size() * sizeof(T); }
+
+  template <class... Idx, class = std::enable_if_t<sizeof...(Idx) == Rank>>
+  constexpr T& operator()(Idx... idx) const {
+    const std::array<std::size_t, Rank> ii{static_cast<std::size_t>(idx)...};
+#ifdef CUDASTF_BOUNDS_CHECK
+    for (int d = 0; d < Rank; ++d) {
+      if (ii[static_cast<std::size_t>(d)] >= extents_[static_cast<std::size_t>(d)]) {
+        throw std::out_of_range("cudastf: slice index out of bounds");
+      }
+    }
+#endif
+    std::size_t off = 0;
+    for (int d = 0; d < Rank; ++d) {
+      off += ii[static_cast<std::size_t>(d)] * strides_[static_cast<std::size_t>(d)];
+    }
+    return data_[off];
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::array<std::size_t, Rank> extents_{};
+  std::array<std::size_t, Rank> strides_{};
+};
+
+}  // namespace cudastf

@@ -1,0 +1,170 @@
+// Task construction (§II-B): ctx.task(deps...)->*body submits one unit of
+// asynchronous work whose ordering is inferred from the logical data it
+// accesses. The body receives a stream to enqueue work on plus one typed
+// view per dependency.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "cudastf/context_state.hpp"
+#include "cudastf/logical_data.hpp"
+#include "cudastf/places.hpp"
+
+namespace cudastf::detail {
+
+/// Acquires every dependency, returning the merged readiness list and the
+/// resolved per-dependency places (Algorithm 2 applied per dependency).
+template <class... Deps, std::size_t... I>
+event_list acquire_all(context_state& st, int exec_device,
+                       std::array<data_place, sizeof...(Deps)>& resolved,
+                       const std::tuple<Deps...>& deps,
+                       std::index_sequence<I...>) {
+  event_list ready;
+  ((resolved[I] = resolve_place(std::get<I>(deps).untyped.place, exec_device),
+    ready.merge(acquire_dep(st, std::get<I>(deps).untyped, resolved[I]))),
+   ...);
+  return ready;
+}
+
+template <class... Deps, std::size_t... I>
+void release_all(context_state& st,
+                 const std::array<data_place, sizeof...(Deps)>& resolved,
+                 const std::tuple<Deps...>& deps, const event_list& done,
+                 std::index_sequence<I...>) {
+  (release_dep(st, std::get<I>(deps).untyped, resolved[I], done), ...);
+}
+
+/// Builds the tuple of typed views over the acquired instances.
+template <class... Deps, std::size_t... I>
+auto make_views(const std::array<data_place, sizeof...(Deps)>& resolved,
+                const std::tuple<Deps...>& deps, std::index_sequence<I...>) {
+  return std::make_tuple(std::get<I>(deps).make_view(
+      std::get<I>(deps).untyped.data->find_instance(resolved[I])->ptr)...);
+}
+
+}  // namespace cudastf::detail
+
+namespace cudastf {
+
+/// Builder returned by ctx.task(...). The task body is attached with the
+/// ->* operator and submitted immediately (asynchronously).
+template <class... Deps>
+class [[nodiscard]] task_builder {
+ public:
+  task_builder(std::shared_ptr<context_state> st, exec_place where,
+               Deps... deps)
+      : st_(std::move(st)), where_(std::move(where)),
+        deps_(std::move(deps)...) {}
+
+  /// Names the task (shown in summaries; feeds graph memoization).
+  task_builder&& set_symbol(std::string s) && {
+    symbol_ = std::move(s);
+    return std::move(*this);
+  }
+
+  /// Submits the task. `fn` receives (stream&, views...).
+  template <class Fn>
+  void operator->*(Fn&& fn) && {
+    if (where_.is_grid()) {
+      throw std::logic_error(
+          "cudastf: plain task() does not span device grids; use "
+          "parallel_for or launch");
+    }
+    if (where_.is_host()) {
+      throw std::logic_error(
+          "cudastf: use ctx.host_launch() for host-side tasks");
+    }
+    std::lock_guard lock(st_->mu);
+    int device;
+    switch (where_.type()) {
+      case exec_place::kind::device:
+        device = where_.device_index();
+        break;
+      case exec_place::kind::automatic: {
+        std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+        std::size_t idx = 0;
+        std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+                   deps_);
+        device = pick_heft_device(*st_, untyped.data(), untyped.size());
+        break;
+      }
+      default:
+        device = st_->plat->current_device();
+        break;
+    }
+    constexpr auto seq = std::index_sequence_for<Deps...>{};
+    std::array<data_place, sizeof...(Deps)> resolved;
+    event_list ready =
+        detail::acquire_all(*st_, device, resolved, deps_, seq);
+    auto views = detail::make_views(resolved, deps_, seq);
+    auto payload = [fn = std::forward<Fn>(fn), views](cudasim::stream& s) mutable {
+      std::apply([&](auto&... v) { fn(s, v...); }, views);
+    };
+    event_ptr done =
+        st_->backend->run(device, backend_iface::channel::compute, ready,
+                          payload, symbol_);
+    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+  }
+
+ private:
+  std::shared_ptr<context_state> st_;
+  exec_place where_;
+  std::tuple<Deps...> deps_;
+  std::string symbol_ = "task";
+};
+
+/// Builder for host tasks (CPU-bound work integrated in the DAG, e.g. the
+/// miniWeather NetCDF output task). The body receives the typed views only;
+/// it runs on the host once its dependencies are satisfied.
+template <class... Deps>
+class [[nodiscard]] host_launch_builder {
+ public:
+  host_launch_builder(std::shared_ptr<context_state> st, Deps... deps)
+      : st_(std::move(st)), deps_(std::move(deps)...) {}
+
+  host_launch_builder&& set_symbol(std::string s) && {
+    symbol_ = std::move(s);
+    return std::move(*this);
+  }
+
+  /// Modelled host execution time (the simulated cost of the callback).
+  host_launch_builder&& set_host_cost(double seconds) && {
+    cost_ = seconds;
+    return std::move(*this);
+  }
+
+  template <class Fn>
+  void operator->*(Fn&& fn) && {
+    std::lock_guard lock(st_->mu);
+    constexpr auto seq = std::index_sequence_for<Deps...>{};
+    std::array<data_place, sizeof...(Deps)> resolved;
+    event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
+    auto views = detail::make_views(resolved, deps_, seq);
+    cudasim::platform* plat = st_->plat;
+    const double cost = cost_;
+    auto payload = [fn = std::forward<Fn>(fn), views, plat,
+                    cost](cudasim::stream& s) mutable {
+      plat->launch_host_func(
+          s,
+          [fn, views]() mutable {
+            std::apply([&](auto&... v) { fn(v...); }, views);
+          },
+          cost);
+    };
+    event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
+                                       payload, symbol_);
+    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+  }
+
+ private:
+  std::shared_ptr<context_state> st_;
+  std::tuple<Deps...> deps_;
+  std::string symbol_ = "host";
+  double cost_ = 0.0;
+};
+
+}  // namespace cudastf

@@ -1,0 +1,87 @@
+#include <algorithm>
+#include <random>
+
+#include "cudastf/partition.hpp"
+
+namespace cudastf {
+
+namespace {
+
+/// Majority owner of page `pg` computed exhaustively over all its elements.
+std::size_t exhaustive_owner(std::size_t pg, std::size_t n, std::size_t elem_size,
+                             const partitioner& part, std::size_t count) {
+  const std::size_t elems_per_page = vmm::page_size / elem_size;
+  const std::size_t first = pg * elems_per_page;
+  const std::size_t last = std::min(n, first + elems_per_page);
+  std::vector<std::size_t> histo(count, 0);
+  for (std::size_t i = first; i < last; ++i) {
+    ++histo[part.owner(n, i, count)];
+  }
+  return static_cast<std::size_t>(
+      std::max_element(histo.begin(), histo.end()) - histo.begin());
+}
+
+}  // namespace
+
+page_mapping_report map_pages_by_sampling(vmm::reservation& resv, std::size_t n,
+                                          std::size_t elem_size,
+                                          const partitioner& part,
+                                          const std::vector<int>& grid,
+                                          std::size_t samples, std::uint64_t seed,
+                                          bool compute_mismatch) {
+  if (grid.empty()) {
+    throw std::invalid_argument("cudastf: empty grid for page mapping");
+  }
+  const std::size_t count = grid.size();
+  const std::size_t elems_per_page = vmm::page_size / elem_size;
+  const std::size_t used_pages =
+      std::min(resv.page_count(),
+               (n * elem_size + vmm::page_size - 1) / vmm::page_size);
+
+  page_mapping_report report;
+  report.pages = used_pages;
+  report.samples_per_page = samples;
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> histo(count);
+
+  // Decide the owner per page, then coalesce consecutive pages with the
+  // same owner into a single map_pages call (mirrors coalescing physical
+  // allocations before cuMemMap).
+  std::vector<int> owner_of_page(used_pages);
+  for (std::size_t pg = 0; pg < used_pages; ++pg) {
+    const std::size_t first = pg * elems_per_page;
+    const std::size_t last = std::min(n, first + elems_per_page);
+    const std::size_t span = last - first;
+    std::fill(histo.begin(), histo.end(), 0);
+    std::size_t winner;
+    if (samples == 0 || samples >= span) {
+      winner = exhaustive_owner(pg, n, elem_size, part, count);
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(first, last - 1);
+      for (std::size_t s = 0; s < samples; ++s) {
+        ++histo[part.owner(n, pick(rng), count)];
+      }
+      winner = static_cast<std::size_t>(
+          std::max_element(histo.begin(), histo.end()) - histo.begin());
+      if (compute_mismatch &&
+          winner != exhaustive_owner(pg, n, elem_size, part, count)) {
+        ++report.mismatched_pages;
+      }
+    }
+    owner_of_page[pg] = grid[winner];
+  }
+
+  for (std::size_t pg = 0; pg < used_pages;) {
+    const int dev = owner_of_page[pg];
+    std::size_t run = 1;
+    while (pg + run < used_pages && owner_of_page[pg + run] == dev) {
+      ++run;
+    }
+    resv.map_pages(pg, run, dev);
+    pg += run;
+  }
+  return report;
+}
+
+}  // namespace cudastf

@@ -1,0 +1,27 @@
+// Baseline comparator for Fig. 8: a multi-GPU Cholesky in the style of
+// cuSolverMg — 1D block-cyclic data distribution by tile column, bulk-
+// synchronous iterations, no look-ahead (the paper's own explanation of why
+// it trails the task-based version). Written directly against the simulated
+// CUDA runtime, without CUDASTF.
+#pragma once
+
+#include <cstddef>
+
+#include "blaslib/tiled_cholesky.hpp"
+#include "cudasim/cudasim.hpp"
+
+namespace cusolvermg {
+
+struct mg_options {
+  std::size_t block = 1960;
+  bool compute = true;
+  int num_devices = -1;  ///< -1 = all devices of the platform
+};
+
+/// Factors the tile matrix in place (lower Cholesky). Blocking call:
+/// returns once the factorization (and the copy back to host tiles) is
+/// complete. Returns the virtual time consumed (seconds).
+double mg_potrf(cudasim::platform& plat, blaslib::tile_matrix& a,
+                const mg_options& opts = {});
+
+}  // namespace cusolvermg

@@ -1,0 +1,137 @@
+#include "cusolvermg/mg_cholesky.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "blaslib/blas_sim.hpp"
+
+namespace cusolvermg {
+
+namespace {
+
+using blaslib::tile_matrix;
+using cudastf::slice;
+
+struct device_tiles {
+  // Device buffer per owned (i, j) tile, indexed i * T + j.
+  std::vector<void*> buf;
+};
+
+}  // namespace
+
+double mg_potrf(cudasim::platform& plat, tile_matrix& a, const mg_options& opts) {
+  const int P = opts.num_devices < 0 ? plat.device_count()
+                                     : opts.num_devices;
+  if (P < 1 || P > plat.device_count()) {
+    throw std::invalid_argument("cusolvermg: bad device count");
+  }
+  const std::size_t T = a.tiles();
+  const std::size_t bs = a.block();
+  const std::size_t tile_bytes = bs * bs * sizeof(double);
+  const bool compute = opts.compute;
+  // Column block-cyclic ownership, as in cuSolverMg's 1D distribution.
+  auto owner = [&](std::size_t j) { return static_cast<int>(j % P); };
+
+  plat.synchronize();
+  const double t0 = plat.now();
+
+  // One stream per device for compute, one for transfers.
+  std::vector<std::unique_ptr<cudasim::stream>> comp, copy;
+  for (int d = 0; d < P; ++d) {
+    comp.push_back(std::make_unique<cudasim::stream>(plat, d));
+    copy.push_back(std::make_unique<cudasim::stream>(plat, d));
+  }
+
+  // Upload every owned tile to its owner device.
+  std::vector<void*> dev(T * T, nullptr);
+  for (std::size_t i = 0; i < T; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const int d = owner(j);
+      void* p = plat.malloc_async(tile_bytes, *copy[d]);
+      if (p == nullptr) {
+        throw std::bad_alloc();
+      }
+      dev[i * T + j] = p;
+      plat.memcpy_async(p, a.tile_ptr(i, j), tile_bytes,
+                        cudasim::memcpy_kind::host_to_device, *copy[d]);
+    }
+  }
+  // Per-device staging buffers for the broadcast panel column (up to T tiles).
+  std::vector<std::vector<void*>> panel(static_cast<std::size_t>(P));
+  for (int d = 0; d < P; ++d) {
+    panel[static_cast<std::size_t>(d)].resize(T, nullptr);
+    for (std::size_t i = 0; i < T; ++i) {
+      panel[static_cast<std::size_t>(d)][i] =
+          plat.malloc_async(tile_bytes, *copy[d]);
+      if (panel[static_cast<std::size_t>(d)][i] == nullptr) {
+        throw std::bad_alloc();
+      }
+    }
+  }
+  plat.synchronize();
+
+  auto dslice = [bs](void* p) {
+    return slice<double, 2>(static_cast<double*>(p), bs, bs);
+  };
+  auto cslice = [bs](const void* p) {
+    return slice<const double, 2>(static_cast<const double*>(p), bs, bs);
+  };
+
+  for (std::size_t k = 0; k < T; ++k) {
+    const int pk = owner(k);
+    // Panel factorization — entirely on the owner of column k.
+    blaslib::dpotrf(plat, *comp[pk], dslice(dev[k * T + k]), compute);
+    for (std::size_t i = k + 1; i < T; ++i) {
+      blaslib::dtrsm(plat, *comp[pk], cslice(dev[k * T + k]),
+                     dslice(dev[i * T + k]), compute);
+    }
+    // Bulk-synchronous broadcast of the factored panel to every device.
+    plat.synchronize();
+    for (int d = 0; d < P; ++d) {
+      if (d == pk) {
+        continue;
+      }
+      for (std::size_t i = k; i < T; ++i) {
+        plat.memcpy_async(panel[static_cast<std::size_t>(d)][i],
+                          dev[i * T + k], tile_bytes,
+                          cudasim::memcpy_kind::device_to_device, *copy[pk]);
+      }
+    }
+    plat.synchronize();
+    // Trailing update: each device updates the columns it owns.
+    for (std::size_t j = k + 1; j < T; ++j) {
+      const int pj = owner(j);
+      const void* ajk = pj == pk ? dev[j * T + k]
+                                 : panel[static_cast<std::size_t>(pj)][j];
+      blaslib::dsyrk(plat, *comp[pj], -1.0, cslice(ajk), 1.0,
+                     dslice(dev[j * T + j]), compute);
+      for (std::size_t i = j + 1; i < T; ++i) {
+        const void* aik = pj == pk ? dev[i * T + k]
+                                   : panel[static_cast<std::size_t>(pj)][i];
+        blaslib::dgemm(plat, *comp[pj], false, true, -1.0, cslice(aik),
+                       cslice(ajk), 1.0, dslice(dev[i * T + j]), compute);
+      }
+    }
+    // No look-ahead: a global barrier separates iterations.
+    plat.synchronize();
+  }
+
+  // Download results and release device memory.
+  for (std::size_t i = 0; i < T; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const int d = owner(j);
+      plat.memcpy_async(a.tile_ptr(i, j), dev[i * T + j], tile_bytes,
+                        cudasim::memcpy_kind::device_to_host, *copy[d]);
+      plat.free_async(dev[i * T + j], *copy[d]);
+    }
+  }
+  for (int d = 0; d < P; ++d) {
+    for (std::size_t i = 0; i < T; ++i) {
+      plat.free_async(panel[static_cast<std::size_t>(d)][i], *copy[d]);
+    }
+  }
+  plat.synchronize();
+  return plat.now() - t0;
+}
+
+}  // namespace cusolvermg

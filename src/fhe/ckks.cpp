@@ -1,0 +1,482 @@
+#include "fhe/ckks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fhe {
+
+namespace {
+constexpr double pi = 3.14159265358979323846264338327;
+}
+
+ckks_params ckks_params::make(std::size_t degree, std::size_t limbs,
+                              unsigned first_bits, unsigned mid_bits,
+                              double scale) {
+  if (limbs < 1) {
+    throw std::invalid_argument("fhe: need at least one modulus");
+  }
+  ckks_params p;
+  p.n = degree;
+  p.scale = scale;
+  p.moduli = make_moduli(1, first_bits, degree);
+  if (limbs > 1) {
+    auto mids = make_moduli(limbs - 1, mid_bits, degree);
+    p.moduli.insert(p.moduli.end(), mids.begin(), mids.end());
+  }
+  return p;
+}
+
+ckks_context::ckks_context(ckks_params params, u64 seed)
+    : params_(std::move(params)), rng_(seed) {
+  for (u64 q : params_.moduli) {
+    tables_.push_back(std::make_unique<ntt_table>(q, params_.n));
+  }
+}
+
+// --- sampling ---
+
+rns_poly ckks_context::sample_uniform(std::size_t level) {
+  rns_poly out(params_.n, level);
+  for (std::size_t i = 0; i < level; ++i) {
+    std::uniform_int_distribution<u64> dist(0, params_.moduli[i] - 1);
+    u64* l = out.limb(i);
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      l[k] = dist(rng_);
+    }
+  }
+  return out;
+}
+
+namespace {
+rns_poly small_poly_to_ntt(const std::vector<std::int64_t>& coeffs,
+                           const ckks_params& p,
+                           const std::vector<std::unique_ptr<ntt_table>>& tables,
+                           std::size_t level) {
+  rns_poly out(p.n, level);
+  for (std::size_t i = 0; i < level; ++i) {
+    const u64 q = p.moduli[i];
+    u64* l = out.limb(i);
+    for (std::size_t k = 0; k < p.n; ++k) {
+      const std::int64_t c = coeffs[k];
+      l[k] = c >= 0 ? static_cast<u64>(c) % q
+                    : q - (static_cast<u64>(-c) % q);
+    }
+    tables[i]->forward(l);
+  }
+  return out;
+}
+}  // namespace
+
+rns_poly ckks_context::sample_ternary_ntt() {
+  std::uniform_int_distribution<int> dist(-1, 1);
+  std::vector<std::int64_t> c(params_.n);
+  for (auto& x : c) {
+    x = dist(rng_);
+  }
+  return small_poly_to_ntt(c, params_, tables_, params_.moduli.size());
+}
+
+rns_poly ckks_context::sample_error_ntt(std::size_t level) {
+  // Centered binomial-ish noise with sigma ~ 2.
+  std::uniform_int_distribution<int> dist(0, 1);
+  std::vector<std::int64_t> c(params_.n);
+  for (auto& x : c) {
+    int v = 0;
+    for (int t = 0; t < 8; ++t) {
+      v += dist(rng_) - dist(rng_);
+    }
+    x = v / 2;
+  }
+  return small_poly_to_ntt(c, params_, tables_, level);
+}
+
+// --- keys ---
+
+secret_key ckks_context::make_secret_key() { return {sample_ternary_ntt()}; }
+
+public_key ckks_context::make_public_key(const secret_key& sk) {
+  const std::size_t L = params_.moduli.size();
+  public_key pk;
+  pk.a = sample_uniform(L);
+  rns_poly e = sample_error_ntt(L);
+  pk.b = rns_poly(params_.n, L);
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      pk.b.limb(i)[k] = submod(e.limb(i)[k],
+                               mulmod(pk.a.limb(i)[k], sk.s.limb(i)[k], q), q);
+    }
+  }
+  return pk;
+}
+
+std::vector<u64> ckks_context::qhat_mod(std::size_t level, std::size_t j) const {
+  std::vector<u64> out(level, 1);
+  for (std::size_t i = 0; i < level; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < level; ++k) {
+      if (k != j) {
+        out[i] = mulmod(out[i], params_.moduli[k] % q, q);
+      }
+    }
+  }
+  return out;
+}
+
+relin_key ckks_context::make_relin_key(const secret_key& sk, std::size_t level) {
+  relin_key rk;
+  rk.level = level;
+  for (std::size_t j = 0; j < level; ++j) {
+    rns_poly a = sample_uniform(level);
+    rns_poly e = sample_error_ntt(level);
+    rns_poly b(params_.n, level);
+    const std::vector<u64> qh = qhat_mod(level, j);
+    for (std::size_t i = 0; i < level; ++i) {
+      const u64 q = params_.moduli[i];
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        const u64 s = sk.s.limb(i)[k];
+        const u64 s2 = mulmod(s, s, q);
+        u64 v = submod(e.limb(i)[k], mulmod(a.limb(i)[k], s, q), q);
+        b.limb(i)[k] = addmod(v, mulmod(qh[i] % q, s2, q), q);
+      }
+    }
+    rk.b.push_back(std::move(b));
+    rk.a.push_back(std::move(a));
+  }
+  return rk;
+}
+
+// --- encoding ---
+
+plaintext ckks_context::encode(const std::vector<std::complex<double>>& values,
+                               std::size_t level) const {
+  const std::size_t n = params_.n;
+  const std::size_t slots = params_.slots();
+  if (values.size() > slots) {
+    throw std::invalid_argument("fhe: too many values for slot count");
+  }
+  // Slot j lives at the primitive 2n-th root zeta^{5^j}; inverse canonical
+  // embedding of a conjugation-symmetric vector (direct O(n * slots) form).
+  std::vector<double> coeffs(n, 0.0);
+  std::vector<std::size_t> sigma(values.size());
+  std::size_t pw = 1;
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    sigma[j] = pw;
+    pw = (pw * 5) % (2 * n);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const double ang = -pi * static_cast<double>(sigma[j] * k % (2 * n)) /
+                         static_cast<double>(n);
+      acc += 2.0 * (values[j].real() * std::cos(ang) -
+                    values[j].imag() * std::sin(ang));
+    }
+    coeffs[k] = acc / static_cast<double>(n);
+  }
+  plaintext out;
+  out.scale = params_.scale;
+  out.poly = rns_poly(n, level);
+  for (std::size_t i = 0; i < level; ++i) {
+    const u64 q = params_.moduli[i];
+    u64* l = out.poly.limb(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double scaled = coeffs[k] * params_.scale;
+      const auto r = static_cast<std::int64_t>(std::llround(scaled));
+      l[k] = r >= 0 ? static_cast<u64>(r) % q : q - (static_cast<u64>(-r) % q);
+    }
+    tables_[i]->forward(l);
+  }
+  return out;
+}
+
+plaintext ckks_context::encode_real(const std::vector<double>& values,
+                                    std::size_t level) const {
+  std::vector<std::complex<double>> z(values.begin(), values.end());
+  return encode(z, level);
+}
+
+plaintext ckks_context::encode_scalar(double value, std::size_t level) const {
+  plaintext out;
+  out.scale = params_.scale;
+  out.poly = rns_poly(params_.n, level);
+  const auto r = static_cast<std::int64_t>(std::llround(value * params_.scale));
+  for (std::size_t i = 0; i < level; ++i) {
+    const u64 q = params_.moduli[i];
+    const u64 c0 =
+        r >= 0 ? static_cast<u64>(r) % q : q - (static_cast<u64>(-r) % q);
+    u64* l = out.poly.limb(i);
+    l[0] = c0;
+    tables_[i]->forward(l);  // remaining coefficients are zero
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> ckks_context::decode(const plaintext& p) const {
+  const std::size_t n = params_.n;
+  // Decrypted coefficients are |scale * value + noise| << q0*q1 / 2, so the
+  // first two residues determine them exactly: decode from at most two
+  // limbs (exact u128 CRT), ignoring higher limbs of deeper levels.
+  const std::size_t L = std::min<std::size_t>(p.poly.limbs, 2);
+  std::vector<double> coeffs(n);
+  std::vector<u64> l0(p.poly.limb(0), p.poly.limb(0) + n);
+  tables_[0]->inverse(l0.data());
+  if (L == 1) {
+    const u64 q0 = params_.moduli[0];
+    for (std::size_t k = 0; k < n; ++k) {
+      coeffs[k] = static_cast<double>(centered(l0[k], q0));
+    }
+  } else {
+    std::vector<u64> l1(p.poly.limb(1), p.poly.limb(1) + n);
+    tables_[1]->inverse(l1.data());
+    const u64 q0 = params_.moduli[0];
+    const u64 q1 = params_.moduli[1];
+    const u64 q0_inv_q1 = invmod(q0 % q1, q1);
+    const u128 big_q = static_cast<u128>(q0) * q1;
+    for (std::size_t k = 0; k < n; ++k) {
+      const u64 d = mulmod(submod(l1[k], l0[k] % q1, q1), q0_inv_q1, q1);
+      u128 x = static_cast<u128>(d) * q0 + l0[k];
+      double val;
+      if (x > big_q / 2) {
+        val = -static_cast<double>(big_q - x);
+      } else {
+        val = static_cast<double>(x);
+      }
+      coeffs[k] = val;
+    }
+  }
+  const std::size_t slots = params_.slots();
+  std::vector<std::complex<double>> out(slots);
+  std::size_t pw = 1;
+  for (std::size_t j = 0; j < slots; ++j) {
+    double re = 0.0, im = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = pi * static_cast<double>(pw * k % (2 * n)) /
+                         static_cast<double>(n);
+      re += coeffs[k] * std::cos(ang);
+      im += coeffs[k] * std::sin(ang);
+    }
+    out[j] = std::complex<double>(re, im) / p.scale;
+    pw = (pw * 5) % (2 * n);
+  }
+  return out;
+}
+
+// --- encryption ---
+
+ciphertext ckks_context::encrypt(const plaintext& p, const public_key& pk) {
+  const std::size_t L = p.poly.limbs;
+  ciphertext ct;
+  ct.scale = p.scale;
+  rns_poly u = sample_ternary_ntt();
+  rns_poly e0 = sample_error_ntt(L);
+  rns_poly e1 = sample_error_ntt(L);
+  ct.c.assign(2, rns_poly(params_.n, L));
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      const u64 uv = u.limb(i)[k];
+      ct.c[0].limb(i)[k] =
+          addmod(addmod(mulmod(pk.b.limb(i)[k], uv, q), e0.limb(i)[k], q),
+                 p.poly.limb(i)[k], q);
+      ct.c[1].limb(i)[k] =
+          addmod(mulmod(pk.a.limb(i)[k], uv, q), e1.limb(i)[k], q);
+    }
+  }
+  return ct;
+}
+
+ciphertext ckks_context::encrypt_symmetric(const plaintext& p,
+                                           const secret_key& sk) {
+  const std::size_t L = p.poly.limbs;
+  ciphertext ct;
+  ct.scale = p.scale;
+  rns_poly a = sample_uniform(L);
+  rns_poly e = sample_error_ntt(L);
+  ct.c.assign(2, rns_poly(params_.n, L));
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      const u64 as = mulmod(a.limb(i)[k], sk.s.limb(i)[k], q);
+      ct.c[0].limb(i)[k] = addmod(submod(e.limb(i)[k], as, q),
+                                  p.poly.limb(i)[k], q);
+      ct.c[1].limb(i)[k] = a.limb(i)[k];
+    }
+  }
+  return ct;
+}
+
+plaintext ckks_context::decrypt(const ciphertext& ct, const secret_key& sk) const {
+  const std::size_t L = ct.limbs();
+  plaintext out;
+  out.scale = ct.scale;
+  out.poly = rns_poly(params_.n, L);
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      const u64 s = sk.s.limb(i)[k];
+      u64 acc = ct.c[0].limb(i)[k];
+      u64 spow = s;
+      for (std::size_t comp = 1; comp < ct.size(); ++comp) {
+        acc = addmod(acc, mulmod(ct.c[comp].limb(i)[k], spow, q), q);
+        spow = mulmod(spow, s, q);
+      }
+      out.poly.limb(i)[k] = acc;
+    }
+  }
+  return out;
+}
+
+// --- evaluation ---
+
+ciphertext ckks_context::add(const ciphertext& a, const ciphertext& b) const {
+  if (a.limbs() != b.limbs()) {
+    throw std::invalid_argument("fhe: level mismatch in add");
+  }
+  const std::size_t L = a.limbs();
+  ciphertext out;
+  out.scale = a.scale;
+  const std::size_t sz = std::max(a.size(), b.size());
+  out.c.assign(sz, rns_poly(params_.n, L));
+  for (std::size_t comp = 0; comp < sz; ++comp) {
+    for (std::size_t i = 0; i < L; ++i) {
+      const u64 q = params_.moduli[i];
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        u64 va = comp < a.size() ? a.c[comp].limb(i)[k] : 0;
+        u64 vb = comp < b.size() ? b.c[comp].limb(i)[k] : 0;
+        out.c[comp].limb(i)[k] = addmod(va, vb, q);
+      }
+    }
+  }
+  return out;
+}
+
+ciphertext ckks_context::multiply(const ciphertext& a, const ciphertext& b) const {
+  if (a.size() != 2 || b.size() != 2) {
+    throw std::invalid_argument("fhe: multiply expects size-2 ciphertexts");
+  }
+  if (a.limbs() != b.limbs()) {
+    throw std::invalid_argument("fhe: level mismatch in multiply");
+  }
+  const std::size_t L = a.limbs();
+  ciphertext out;
+  out.scale = a.scale * b.scale;
+  out.c.assign(3, rns_poly(params_.n, L));
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      const u64 a0 = a.c[0].limb(i)[k], a1 = a.c[1].limb(i)[k];
+      const u64 b0 = b.c[0].limb(i)[k], b1 = b.c[1].limb(i)[k];
+      out.c[0].limb(i)[k] = mulmod(a0, b0, q);
+      out.c[1].limb(i)[k] = addmod(mulmod(a0, b1, q), mulmod(a1, b0, q), q);
+      out.c[2].limb(i)[k] = mulmod(a1, b1, q);
+    }
+  }
+  return out;
+}
+
+ciphertext ckks_context::multiply_plain(const ciphertext& a,
+                                        const plaintext& p) const {
+  const std::size_t L = a.limbs();
+  ciphertext out;
+  out.scale = a.scale * p.scale;
+  out.c.assign(a.size(), rns_poly(params_.n, L));
+  for (std::size_t comp = 0; comp < a.size(); ++comp) {
+    for (std::size_t i = 0; i < L; ++i) {
+      const u64 q = params_.moduli[i];
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        out.c[comp].limb(i)[k] =
+            mulmod(a.c[comp].limb(i)[k], p.poly.limb(i)[k], q);
+      }
+    }
+  }
+  return out;
+}
+
+rns_poly ckks_context::decompose_limb(const rns_poly& x_ntt, std::size_t j) const {
+  const std::size_t L = x_ntt.limbs;
+  const u64 qj = params_.moduli[j];
+  // qtilde_j = (Q/q_j)^-1 mod q_j for the current level.
+  u64 qhat_j_mod_qj = 1;
+  for (std::size_t k = 0; k < L; ++k) {
+    if (k != j) {
+      qhat_j_mod_qj = mulmod(qhat_j_mod_qj, params_.moduli[k] % qj, qj);
+    }
+  }
+  const u64 qtilde = invmod(qhat_j_mod_qj, qj);
+
+  std::vector<u64> coeff(x_ntt.limb(j), x_ntt.limb(j) + params_.n);
+  tables_[j]->inverse(coeff.data());
+  for (std::size_t k = 0; k < params_.n; ++k) {
+    coeff[k] = mulmod(coeff[k], qtilde, qj);  // u_j in [0, q_j)
+  }
+  rns_poly out(params_.n, L);
+  for (std::size_t i = 0; i < L; ++i) {
+    const u64 q = params_.moduli[i];
+    u64* l = out.limb(i);
+    for (std::size_t k = 0; k < params_.n; ++k) {
+      l[k] = coeff[k] % q;  // small-integer reduction, no CRT needed
+    }
+    tables_[i]->forward(l);
+  }
+  return out;
+}
+
+void ckks_context::relinearize_inplace(ciphertext& ct, const relin_key& rk) const {
+  if (ct.size() != 3) {
+    throw std::invalid_argument("fhe: relinearize expects size-3 ciphertext");
+  }
+  const std::size_t L = ct.limbs();
+  if (rk.level != L) {
+    throw std::invalid_argument("fhe: relin key level mismatch");
+  }
+  for (std::size_t j = 0; j < L; ++j) {
+    const rns_poly u = decompose_limb(ct.c[2], j);
+    for (std::size_t i = 0; i < L; ++i) {
+      const u64 q = params_.moduli[i];
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        const u64 uv = u.limb(i)[k];
+        ct.c[0].limb(i)[k] = addmod(
+            ct.c[0].limb(i)[k], mulmod(uv, rk.b[j].limb(i)[k], q), q);
+        ct.c[1].limb(i)[k] = addmod(
+            ct.c[1].limb(i)[k], mulmod(uv, rk.a[j].limb(i)[k], q), q);
+      }
+    }
+  }
+  ct.c.pop_back();
+}
+
+void ckks_context::rescale_inplace(ciphertext& ct) const {
+  const std::size_t L = ct.limbs();
+  if (L < 2) {
+    throw std::invalid_argument("fhe: cannot rescale the last modulus");
+  }
+  const u64 ql = params_.moduli[L - 1];
+  for (auto& comp : ct.c) {
+    std::vector<u64> last(comp.limb(L - 1), comp.limb(L - 1) + params_.n);
+    tables_[L - 1]->inverse(last.data());
+    for (std::size_t i = 0; i + 1 < L; ++i) {
+      const u64 q = params_.moduli[i];
+      const u64 ql_inv = invmod(ql % q, q);
+      u64* l = comp.limb(i);
+      tables_[i]->inverse(l);
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        const std::int64_t d = centered(last[k], ql);
+        const u64 dmod =
+            d >= 0 ? static_cast<u64>(d) % q : q - (static_cast<u64>(-d) % q);
+        l[k] = mulmod(submod(l[k], dmod, q), ql_inv, q);
+      }
+      tables_[i]->forward(l);
+    }
+    comp.drop_last_limb();
+  }
+  ct.scale /= static_cast<double>(ql);
+}
+
+std::vector<std::complex<double>> ckks_context::decrypt_decode(
+    const ciphertext& ct, const secret_key& sk) const {
+  return decode(decrypt(ct, sk));
+}
+
+}  // namespace fhe

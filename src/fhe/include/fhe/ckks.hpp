@@ -1,0 +1,137 @@
+// A from-scratch RNS-CKKS implementation (the stand-in for Microsoft SEAL,
+// §VII-E): approximate arithmetic over encrypted complex/real vectors.
+//
+//  * ring Z_Q[X]/(X^N + 1), Q a chain of NTT-friendly word-size primes
+//  * canonical-embedding encoder (slot <-> coefficient, 5^j orbit)
+//  * ternary secret, public-key encryption, decryption
+//  * homomorphic add / multiply (tensor), RNS-decomposition
+//    relinearization, exact RNS rescale
+//
+// Ciphertext polynomials are kept in NTT (evaluation) form, like SEAL.
+// This host implementation is the numerical ground truth; the CUDASTF
+// multi-GPU evaluator (stf_evaluator.hpp) reproduces it task by task.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "fhe/ntt.hpp"
+
+namespace fhe {
+
+struct ckks_params {
+  std::size_t n = 4096;          ///< ring degree (power of two)
+  std::vector<u64> moduli;       ///< prime chain, q0 first
+  double scale = double(1ull << 40);
+
+  std::size_t slots() const { return n / 2; }
+  static ckks_params make(std::size_t degree, std::size_t limbs,
+                          unsigned first_bits = 50, unsigned mid_bits = 40,
+                          double scale = double(1ull << 40));
+};
+
+/// RNS polynomial: `limbs` residue polynomials of degree n, limb-major.
+struct rns_poly {
+  std::size_t n = 0;
+  std::size_t limbs = 0;
+  std::vector<u64> v;
+
+  rns_poly() = default;
+  rns_poly(std::size_t n_, std::size_t limbs_)
+      : n(n_), limbs(limbs_), v(n_ * limbs_, 0) {}
+  u64* limb(std::size_t i) { return v.data() + i * n; }
+  const u64* limb(std::size_t i) const { return v.data() + i * n; }
+  void drop_last_limb() {
+    --limbs;
+    v.resize(n * limbs);
+  }
+};
+
+struct plaintext {
+  rns_poly poly;  ///< NTT form
+  double scale = 1.0;
+};
+
+/// size() is 2 for fresh ciphertexts, 3 after an unrelinearized multiply.
+struct ciphertext {
+  std::vector<rns_poly> c;  ///< NTT form components
+  double scale = 1.0;
+  std::size_t size() const { return c.size(); }
+  std::size_t limbs() const { return c.empty() ? 0 : c[0].limbs; }
+};
+
+struct secret_key {
+  rns_poly s;  ///< NTT form, full chain
+};
+struct public_key {
+  rns_poly b, a;  ///< b = -(a s) + e, NTT form, full chain
+};
+/// RNS-decomposition relinearization key, generated for a specific level
+/// (number of limbs): one (b_j, a_j) pair per limb with
+/// b_j = -(a_j s) + e_j + qhat_j s^2.
+struct relin_key {
+  std::vector<rns_poly> b, a;
+  std::size_t level = 0;
+};
+
+/// The host CKKS context: parameters, NTT tables, and every operation of
+/// the scheme. Deterministic for a fixed seed.
+class ckks_context {
+ public:
+  explicit ckks_context(ckks_params params, u64 seed = 0xC0FFEE);
+
+  const ckks_params& params() const { return params_; }
+  const ntt_table& table(std::size_t limb) const { return *tables_[limb]; }
+
+  // --- keys ---
+  secret_key make_secret_key();
+  public_key make_public_key(const secret_key& sk);
+  relin_key make_relin_key(const secret_key& sk, std::size_t level);
+
+  // --- encoding (canonical embedding over the 5^j orbit) ---
+  plaintext encode(const std::vector<std::complex<double>>& values,
+                   std::size_t level) const;
+  plaintext encode_real(const std::vector<double>& values,
+                        std::size_t level) const;
+  /// Constant polynomial: every slot equals `value` (exact, FFT-free).
+  plaintext encode_scalar(double value, std::size_t level) const;
+  std::vector<std::complex<double>> decode(const plaintext& p) const;
+
+  // --- encryption ---
+  ciphertext encrypt(const plaintext& p, const public_key& pk);
+  ciphertext encrypt_symmetric(const plaintext& p, const secret_key& sk);
+  plaintext decrypt(const ciphertext& ct, const secret_key& sk) const;
+
+  // --- evaluation (host ground truth) ---
+  ciphertext add(const ciphertext& a, const ciphertext& b) const;
+  /// Tensor product: result has size 3 until relinearized.
+  ciphertext multiply(const ciphertext& a, const ciphertext& b) const;
+  void relinearize_inplace(ciphertext& ct, const relin_key& rk) const;
+  /// Drops the last modulus, dividing scale by it (exact RNS rescale).
+  void rescale_inplace(ciphertext& ct) const;
+  ciphertext multiply_plain(const ciphertext& a, const plaintext& p) const;
+
+  /// Decrypt+decode convenience for tests; requires limbs <= 2.
+  std::vector<std::complex<double>> decrypt_decode(const ciphertext& ct,
+                                                   const secret_key& sk) const;
+
+  // Internals shared with the CUDASTF evaluator.
+  rns_poly sample_uniform(std::size_t level);
+  rns_poly sample_ternary_ntt();
+  rns_poly sample_error_ntt(std::size_t level);
+  /// u_j = [x_j * qtilde_j]_{q_j} extended to all limbs (coefficient-wise
+  /// small-integer reduction) and NTT'd — the relin decomposition step.
+  rns_poly decompose_limb(const rns_poly& x_ntt, std::size_t j) const;
+  /// qhat_j = Q / q_j mod q_i for the current level.
+  std::vector<u64> qhat_mod(std::size_t level, std::size_t j) const;
+
+ private:
+  ckks_params params_;
+  std::vector<std::unique_ptr<ntt_table>> tables_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace fhe

@@ -1,0 +1,48 @@
+// 64-bit prime-field arithmetic and NTT-friendly prime generation for the
+// CKKS implementation (§VII-E). All moduli are < 2^62 so products fit in
+// unsigned __int128.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fhe {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+inline u64 addmod(u64 a, u64 b, u64 p) {
+  const u64 s = a + b;
+  return s >= p ? s - p : s;
+}
+
+inline u64 submod(u64 a, u64 b, u64 p) { return a >= b ? a - b : a + p - b; }
+
+inline u64 mulmod(u64 a, u64 b, u64 p) {
+  return static_cast<u64>(static_cast<u128>(a) * b % p);
+}
+
+u64 powmod(u64 base, u64 exp, u64 p);
+
+/// Inverse in Z_p (p prime, a != 0).
+u64 invmod(u64 a, u64 p);
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool is_prime_u64(u64 n);
+
+/// Returns `count` distinct primes of roughly `bits` bits with
+/// p == 1 (mod 2 * degree), largest first — an NTT-friendly CKKS modulus
+/// chain for ring degree `degree`.
+std::vector<u64> make_moduli(std::size_t count, unsigned bits,
+                             std::size_t degree);
+
+/// A primitive 2n-th root of unity mod p (requires p == 1 mod 2n).
+u64 primitive_2nth_root(u64 p, std::size_t n);
+
+/// Centered reduction: represent x in (-p/2, p/2] as signed.
+inline std::int64_t centered(u64 x, u64 p) {
+  return x > p / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(p)
+                   : static_cast<std::int64_t>(x);
+}
+
+}  // namespace fhe

@@ -1,0 +1,38 @@
+// Negacyclic number-theoretic transform over Z_p[X]/(X^n + 1) — the
+// workhorse of every polynomial multiplication in CKKS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fhe/modmath.hpp"
+
+namespace fhe {
+
+/// Precomputed tables for one (modulus, degree) pair. Forward transform
+/// maps coefficients to evaluations at odd powers of the 2n-th root psi
+/// (Cooley-Tukey, bit-reversed twiddles); inverse undoes it including the
+/// n^-1 scaling. Both operate in place.
+class ntt_table {
+ public:
+  ntt_table(u64 modulus, std::size_t degree);
+
+  u64 modulus() const { return p_; }
+  std::size_t degree() const { return n_; }
+
+  void forward(u64* a) const;
+  void inverse(u64* a) const;
+
+  /// Negacyclic convolution via the tables: out = a * b in the ring
+  /// (all three in coefficient form; out may alias a).
+  void multiply(const u64* a, const u64* b, u64* out) const;
+
+ private:
+  u64 p_;
+  std::size_t n_;
+  std::vector<u64> psi_rev_;      ///< psi^br(i), bit-reversed order
+  std::vector<u64> psi_inv_rev_;  ///< psi^-br(i)
+  u64 n_inv_;
+};
+
+}  // namespace fhe

@@ -1,0 +1,131 @@
+// A thin façade mirroring the Microsoft SEAL CKKS interface (§VII-E says
+// the multi-GPU work kept "the existing C++ SEAL interface"). Application
+// code written against these names delegates to the from-scratch scheme in
+// ckks.hpp.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "fhe/ckks.hpp"
+
+namespace seal_like {
+
+using Plaintext = fhe::plaintext;
+using Ciphertext = fhe::ciphertext;
+using SecretKey = fhe::secret_key;
+using PublicKey = fhe::public_key;
+using RelinKeys = fhe::relin_key;
+
+class EncryptionParameters {
+ public:
+  void set_poly_modulus_degree(std::size_t n) { degree_ = n; }
+  void set_coeff_modulus_count(std::size_t limbs) { limbs_ = limbs; }
+  std::size_t poly_modulus_degree() const { return degree_; }
+  std::size_t coeff_modulus_count() const { return limbs_; }
+
+ private:
+  std::size_t degree_ = 4096;
+  std::size_t limbs_ = 3;
+};
+
+class SEALContext {
+ public:
+  explicit SEALContext(const EncryptionParameters& parms, fhe::u64 seed = 1)
+      : impl_(std::make_shared<fhe::ckks_context>(
+            fhe::ckks_params::make(parms.poly_modulus_degree(),
+                                   parms.coeff_modulus_count()),
+            seed)) {}
+  fhe::ckks_context& impl() const { return *impl_; }
+  std::size_t top_level() const { return impl_->params().moduli.size(); }
+
+ private:
+  std::shared_ptr<fhe::ckks_context> impl_;
+};
+
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(const SEALContext& ctx)
+      : ctx_(ctx), sk_(ctx.impl().make_secret_key()) {}
+  const SecretKey& secret_key() const { return sk_; }
+  PublicKey create_public_key() { return ctx_.impl().make_public_key(sk_); }
+  RelinKeys create_relin_keys(std::size_t level) {
+    return ctx_.impl().make_relin_key(sk_, level);
+  }
+
+ private:
+  SEALContext ctx_;
+  SecretKey sk_;
+};
+
+class CKKSEncoder {
+ public:
+  explicit CKKSEncoder(const SEALContext& ctx) : ctx_(ctx) {}
+  std::size_t slot_count() const { return ctx_.impl().params().slots(); }
+  void encode(const std::vector<double>& values, std::size_t level,
+              Plaintext& out) const {
+    out = ctx_.impl().encode_real(values, level);
+  }
+  void encode(double value, std::size_t level, Plaintext& out) const {
+    out = ctx_.impl().encode_scalar(value, level);
+  }
+  void decode(const Plaintext& p, std::vector<std::complex<double>>& out) const {
+    out = ctx_.impl().decode(p);
+  }
+
+ private:
+  SEALContext ctx_;
+};
+
+class Encryptor {
+ public:
+  Encryptor(const SEALContext& ctx, PublicKey pk)
+      : ctx_(ctx), pk_(std::move(pk)) {}
+  void encrypt(const Plaintext& p, Ciphertext& out) {
+    out = ctx_.impl().encrypt(p, pk_);
+  }
+
+ private:
+  SEALContext ctx_;
+  PublicKey pk_;
+};
+
+class Decryptor {
+ public:
+  Decryptor(const SEALContext& ctx, SecretKey sk)
+      : ctx_(ctx), sk_(std::move(sk)) {}
+  void decrypt(const Ciphertext& ct, Plaintext& out) const {
+    out = ctx_.impl().decrypt(ct, sk_);
+  }
+
+ private:
+  SEALContext ctx_;
+  SecretKey sk_;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const SEALContext& ctx) : ctx_(ctx) {}
+  void add(const Ciphertext& a, const Ciphertext& b, Ciphertext& out) const {
+    out = ctx_.impl().add(a, b);
+  }
+  void multiply(const Ciphertext& a, const Ciphertext& b, Ciphertext& out) const {
+    out = ctx_.impl().multiply(a, b);
+  }
+  void relinearize_inplace(Ciphertext& ct, const RelinKeys& rk) const {
+    ctx_.impl().relinearize_inplace(ct, rk);
+  }
+  void rescale_to_next_inplace(Ciphertext& ct) const {
+    ctx_.impl().rescale_inplace(ct);
+  }
+  void multiply_plain(const Ciphertext& a, const Plaintext& p,
+                      Ciphertext& out) const {
+    out = ctx_.impl().multiply_plain(a, p);
+  }
+
+ private:
+  SEALContext ctx_;
+};
+
+}  // namespace seal_like

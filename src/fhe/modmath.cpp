@@ -1,0 +1,104 @@
+#include "fhe/modmath.hpp"
+
+#include <stdexcept>
+
+namespace fhe {
+
+u64 powmod(u64 base, u64 exp, u64 p) {
+  u64 r = 1;
+  base %= p;
+  while (exp > 0) {
+    if (exp & 1) {
+      r = mulmod(r, base, p);
+    }
+    base = mulmod(base, base, p);
+    exp >>= 1;
+  }
+  return r;
+}
+
+u64 invmod(u64 a, u64 p) {
+  if (a == 0) {
+    throw std::invalid_argument("fhe: inverse of zero");
+  }
+  return powmod(a, p - 2, p);
+}
+
+bool is_prime_u64(u64 n) {
+  if (n < 2) {
+    return false;
+  }
+  for (u64 sp : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                 29ull, 31ull, 37ull}) {
+    if (n % sp == 0) {
+      return n == sp;
+    }
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // Deterministic witness set for 64-bit integers.
+  for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    u64 x = powmod(a % n, d, n);
+    if (x == 1 || x == n - 1) {
+      continue;
+    }
+    bool composite = true;
+    for (int r = 1; r < s; ++r) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<u64> make_moduli(std::size_t count, unsigned bits,
+                             std::size_t degree) {
+  if (bits < 20 || bits > 61) {
+    throw std::invalid_argument("fhe: modulus size out of range");
+  }
+  const u64 step = 2 * static_cast<u64>(degree);
+  std::vector<u64> out;
+  // Scan downward from 2^bits over candidates == 1 (mod 2*degree).
+  u64 candidate = (u64(1) << bits) + 1;
+  candidate -= (candidate - 1) % step;
+  while (out.size() < count) {
+    if (candidate <= step) {
+      throw std::runtime_error("fhe: ran out of prime candidates");
+    }
+    if (is_prime_u64(candidate)) {
+      out.push_back(candidate);
+    }
+    candidate -= step;
+  }
+  return out;
+}
+
+u64 primitive_2nth_root(u64 p, std::size_t n) {
+  const u64 order = 2 * static_cast<u64>(n);
+  if ((p - 1) % order != 0) {
+    throw std::invalid_argument("fhe: modulus not NTT friendly for degree");
+  }
+  // Find a generator candidate g, take g^((p-1)/2n) and verify its order.
+  for (u64 g = 2;; ++g) {
+    const u64 root = powmod(g, (p - 1) / order, p);
+    if (powmod(root, order / 2, p) == p - 1) {  // root^n == -1 -> order 2n
+      return root;
+    }
+    if (g > 1000) {
+      throw std::runtime_error("fhe: no primitive root found");
+    }
+  }
+}
+
+}  // namespace fhe

@@ -1,0 +1,99 @@
+#include "fhe/ntt.hpp"
+
+#include <stdexcept>
+
+namespace fhe {
+
+namespace {
+std::size_t bit_reverse(std::size_t x, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+}  // namespace
+
+ntt_table::ntt_table(u64 modulus, std::size_t degree)
+    : p_(modulus), n_(degree) {
+  if (degree == 0 || (degree & (degree - 1)) != 0) {
+    throw std::invalid_argument("fhe: NTT degree must be a power of two");
+  }
+  int bits = 0;
+  while ((std::size_t(1) << bits) < degree) {
+    ++bits;
+  }
+  const u64 psi = primitive_2nth_root(p_, n_);
+  const u64 psi_inv = invmod(psi, p_);
+  psi_rev_.resize(n_);
+  psi_inv_rev_.resize(n_);
+  u64 pw = 1, pwi = 1;
+  std::vector<u64> powers(n_), ipowers(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    powers[i] = pw;
+    ipowers[i] = pwi;
+    pw = mulmod(pw, psi, p_);
+    pwi = mulmod(pwi, psi_inv, p_);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    psi_rev_[i] = powers[bit_reverse(i, bits)];
+    psi_inv_rev_[i] = ipowers[bit_reverse(i, bits)];
+  }
+  n_inv_ = invmod(static_cast<u64>(n_ % p_), p_);
+}
+
+void ntt_table::forward(u64* a) const {
+  // Harvey/Longa-Naehrig iteration: gentleman-sande free, CT butterflies
+  // with the psi powers merged into the twiddles (negacyclic).
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const std::size_t j2 = j1 + t;
+      const u64 s = psi_rev_[m + i];
+      for (std::size_t j = j1; j < j2; ++j) {
+        const u64 u = a[j];
+        const u64 v = mulmod(a[j + t], s, p_);
+        a[j] = addmod(u, v, p_);
+        a[j + t] = submod(u, v, p_);
+      }
+    }
+  }
+}
+
+void ntt_table::inverse(u64* a) const {
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::size_t j2 = j1 + t;
+      const u64 s = psi_inv_rev_[h + i];
+      for (std::size_t j = j1; j < j2; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + t];
+        a[j] = addmod(u, v, p_);
+        a[j + t] = mulmod(submod(u, v, p_), s, p_);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    a[j] = mulmod(a[j], n_inv_, p_);
+  }
+}
+
+void ntt_table::multiply(const u64* a, const u64* b, u64* out) const {
+  std::vector<u64> ta(a, a + n_), tb(b, b + n_);
+  forward(ta.data());
+  forward(tb.data());
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = mulmod(ta[i], tb[i], p_);
+  }
+  inverse(out);
+}
+
+}  // namespace fhe

@@ -1,0 +1,318 @@
+#include "miniweather/core.hpp"
+
+#include <cmath>
+
+namespace miniweather {
+
+namespace {
+constexpr double pi = 3.14159265358979323846264338327;
+constexpr double grav = 9.8;
+constexpr double cp = 1004.0;
+constexpr double rd = 287.0;
+constexpr double p0 = 1.0e5;
+constexpr double C0 = 27.5629410929725921310572974482;
+constexpr double gamm = 1.40027894002789400278940027894;
+constexpr double hv_beta = 0.25;  // hyperviscosity coefficient
+constexpr double theta0 = 300.0;
+
+/// Hydrostatic background for constant potential temperature.
+void hydro_const_theta(double z, double& r, double& t) {
+  t = theta0;
+  const double exner = 1.0 - grav * z / (cp * theta0);
+  const double p = p0 * std::pow(exner, cp / rd);
+  const double rt = std::pow(p / C0, 1.0 / gamm);
+  r = rt / t;
+}
+
+double sample_ellipse_cosine(double x, double z, double amp, double x0,
+                             double z0, double xrad, double zrad) {
+  const double d = std::sqrt(((x - x0) / xrad) * ((x - x0) / xrad) +
+                             ((z - z0) / zrad) * ((z - z0) / zrad)) *
+                   pi / 2.0;
+  return d <= pi / 2.0 ? amp * std::pow(std::cos(d), 2.0) : 0.0;
+}
+}  // namespace
+
+fields::fields(const config& c, bool zero_init)
+    : nx(c.nx), nz(c.nz), pitch(c.nx + 2 * hs) {
+  state = dbuffer((nz + 2 * hs) * pitch * num_vars, zero_init);
+  state_tmp = dbuffer((nz + 2 * hs) * pitch * num_vars, zero_init);
+  flux = dbuffer((nz + 1) * (nx + 1) * num_vars, zero_init);
+  tend = dbuffer(nz * nx * num_vars, zero_init);
+  hy_dens.assign(nz + 2 * hs, 0.0);
+  hy_dens_theta.assign(nz + 2 * hs, 0.0);
+  hy_dens_int.assign(nz + 1, 0.0);
+  hy_dens_theta_int.assign(nz + 1, 0.0);
+  hy_pressure_int.assign(nz + 1, 0.0);
+}
+
+void init_fields(const config& c, fields& f) {
+  const double dz = c.dz();
+  for (std::size_t k = 0; k < c.nz + 2 * hs; ++k) {
+    const double z = (static_cast<double>(k) - hs + 0.5) * dz;
+    double r, t;
+    hydro_const_theta(z, r, t);
+    f.hy_dens[k] = r;
+    f.hy_dens_theta[k] = r * t;
+  }
+  for (std::size_t k = 0; k <= c.nz; ++k) {
+    const double z = static_cast<double>(k) * dz;
+    double r, t;
+    hydro_const_theta(z, r, t);
+    f.hy_dens_int[k] = r;
+    f.hy_dens_theta_int[k] = r * t;
+    f.hy_pressure_int[k] = C0 * std::pow(r * t, gamm);
+  }
+  if (c.tc == testcase::thermal) {
+    const double dx = c.dx();
+    for (std::size_t k = 0; k < c.nz; ++k) {
+      for (std::size_t i = 0; i < c.nx; ++i) {
+        const double x = (static_cast<double>(i) + 0.5) * dx;
+        const double z = (static_cast<double>(k) + 0.5) * dz;
+        const double dtheta =
+            sample_ellipse_cosine(x, z, 3.0, c.xlen / 2.0, 2000.0, 2000.0, 2000.0);
+        const double v = f.hy_dens[k + hs] * dtheta;
+        f.state[f.sidx(id_rhot, k + hs, i + hs)] = v;
+        f.state_tmp[f.sidx(id_rhot, k + hs, i + hs)] = v;
+      }
+    }
+  }
+  // injection starts from the unperturbed background; the jet enters
+  // through the x halo each step.
+}
+
+void halo_x(const config& c, double* state, const fields& f) {
+  for (std::size_t k = 0; k < f.nz + 2 * hs; ++k) {
+    halo_x_row(c, state, f, k);
+  }
+}
+
+void halo_x_row(const config& c, double* state, const fields& f,
+                std::size_t k) {
+  const std::size_t nx = f.nx;
+  for (int v = 0; v < num_vars; ++v) {
+    state[f.sidx(v, k, 0)] = state[f.sidx(v, k, nx)];
+    state[f.sidx(v, k, 1)] = state[f.sidx(v, k, nx + 1)];
+    state[f.sidx(v, k, nx + hs)] = state[f.sidx(v, k, hs)];
+    state[f.sidx(v, k, nx + hs + 1)] = state[f.sidx(v, k, hs + 1)];
+  }
+  if (c.tc == testcase::injection && k >= hs && k < f.nz + hs) {
+    const double z = (static_cast<double>(k - hs) + 0.5) * c.dz();
+    if (std::fabs(z - 3.0 * c.zlen / 4.0) <= c.zlen / 16.0) {
+      for (std::size_t i = 0; i < hs; ++i) {
+        const double r = state[f.sidx(id_dens, k, i)] + f.hy_dens[k];
+        state[f.sidx(id_umom, k, i)] = r * 50.0;
+        state[f.sidx(id_rhot, k, i)] = r * 298.0 - f.hy_dens_theta[k];
+      }
+    }
+  }
+}
+
+void halo_z(const config& c, double* state, const fields& f) {
+  for (std::size_t i = 0; i < f.nx + 2 * hs; ++i) {
+    halo_z_col(c, state, f, i);
+  }
+}
+
+void halo_z_col(const config& /*c*/, double* state, const fields& f,
+                std::size_t i) {
+  const std::size_t top = f.nz + hs;
+  for (int v = 0; v < num_vars; ++v) {
+    if (v == id_wmom) {
+      state[f.sidx(v, 0, i)] = 0.0;
+      state[f.sidx(v, 1, i)] = 0.0;
+      state[f.sidx(v, top, i)] = 0.0;
+      state[f.sidx(v, top + 1, i)] = 0.0;
+    } else if (v == id_umom) {
+      // Keep the velocity constant through the wall halo.
+      state[f.sidx(v, 0, i)] =
+          state[f.sidx(v, hs, i)] / f.hy_dens[hs] * f.hy_dens[0];
+      state[f.sidx(v, 1, i)] =
+          state[f.sidx(v, hs, i)] / f.hy_dens[hs] * f.hy_dens[1];
+      state[f.sidx(v, top, i)] = state[f.sidx(v, top - 1, i)] /
+                                 f.hy_dens[top - 1] * f.hy_dens[top];
+      state[f.sidx(v, top + 1, i)] = state[f.sidx(v, top - 1, i)] /
+                                     f.hy_dens[top - 1] * f.hy_dens[top + 1];
+    } else {
+      state[f.sidx(v, 0, i)] = state[f.sidx(v, hs, i)];
+      state[f.sidx(v, 1, i)] = state[f.sidx(v, hs, i)];
+      state[f.sidx(v, top, i)] = state[f.sidx(v, top - 1, i)];
+      state[f.sidx(v, top + 1, i)] = state[f.sidx(v, top - 1, i)];
+    }
+  }
+}
+
+void flux_x_cell(const config& c, const fields& f, const double* state,
+                 double* flux, std::size_t k, std::size_t i, double hv_coef) {
+  double vals[num_vars], d3[num_vars];
+  for (int v = 0; v < num_vars; ++v) {
+    double st[4];
+    for (std::size_t s = 0; s < 4; ++s) {
+      st[s] = state[f.sidx(v, k + hs, i + s)];
+    }
+    vals[v] = -st[0] / 12 + 7 * st[1] / 12 + 7 * st[2] / 12 - st[3] / 12;
+    d3[v] = -st[0] + 3 * st[1] - 3 * st[2] + st[3];
+  }
+  const double r = vals[id_dens] + f.hy_dens[k + hs];
+  const double u = vals[id_umom] / r;
+  const double w = vals[id_wmom] / r;
+  const double t = (vals[id_rhot] + f.hy_dens_theta[k + hs]) / r;
+  const double p = C0 * std::pow(r * t, gamm);
+  flux[f.fidx(id_dens, k, i)] = r * u - hv_coef * d3[id_dens];
+  flux[f.fidx(id_umom, k, i)] = r * u * u + p - hv_coef * d3[id_umom];
+  flux[f.fidx(id_wmom, k, i)] = r * u * w - hv_coef * d3[id_wmom];
+  flux[f.fidx(id_rhot, k, i)] = r * u * t - hv_coef * d3[id_rhot];
+  (void)c;
+}
+
+void flux_z_cell(const config& c, const fields& f, const double* state,
+                 double* flux, std::size_t k, std::size_t i, double hv_coef) {
+  double vals[num_vars], d3[num_vars];
+  for (int v = 0; v < num_vars; ++v) {
+    double st[4];
+    for (std::size_t s = 0; s < 4; ++s) {
+      st[s] = state[f.sidx(v, k + s, i + hs)];
+    }
+    vals[v] = -st[0] / 12 + 7 * st[1] / 12 + 7 * st[2] / 12 - st[3] / 12;
+    d3[v] = -st[0] + 3 * st[1] - 3 * st[2] + st[3];
+  }
+  const double r = vals[id_dens] + f.hy_dens_int[k];
+  double u = vals[id_umom] / r;
+  double w = vals[id_wmom] / r;
+  const double t = (vals[id_rhot] + f.hy_dens_theta_int[k]) / r;
+  const double p = C0 * std::pow(r * t, gamm) - f.hy_pressure_int[k];
+  if (k == 0 || k == f.nz) {
+    w = 0.0;
+    d3[id_dens] = 0.0;
+  }
+  flux[f.fidx(id_dens, k, i)] = r * w - hv_coef * d3[id_dens];
+  flux[f.fidx(id_umom, k, i)] = r * w * u - hv_coef * d3[id_umom];
+  flux[f.fidx(id_wmom, k, i)] = r * w * w + p - hv_coef * d3[id_wmom];
+  flux[f.fidx(id_rhot, k, i)] = r * w * t - hv_coef * d3[id_rhot];
+  (void)c;
+}
+
+void tend_x_cell(const config& c, const fields& f, const double* flux,
+                 const double* /*state*/, double* tend, std::size_t k,
+                 std::size_t i) {
+  const double dx = c.dx();
+  for (int v = 0; v < num_vars; ++v) {
+    tend[f.tidx(v, k, i)] =
+        -(flux[f.fidx(v, k, i + 1)] - flux[f.fidx(v, k, i)]) / dx;
+  }
+}
+
+void tend_z_cell(const config& c, const fields& f, const double* flux,
+                 const double* state, double* tend, std::size_t k,
+                 std::size_t i) {
+  const double dz = c.dz();
+  for (int v = 0; v < num_vars; ++v) {
+    double t = -(flux[f.fidx(v, k + 1, i)] - flux[f.fidx(v, k, i)]) / dz;
+    if (v == id_wmom) {
+      t -= state[f.sidx(id_dens, k + hs, i + hs)] * grav;
+    }
+    tend[f.tidx(v, k, i)] = t;
+  }
+}
+
+void apply_tend_cell(const fields& f, const double* state_init,
+                     const double* tend, double* state_out, double dt, int var,
+                     std::size_t k, std::size_t i) {
+  state_out[f.sidx(var, k + hs, i + hs)] =
+      state_init[f.sidx(var, k + hs, i + hs)] + dt * tend[f.tidx(var, k, i)];
+}
+
+void semi_discrete_step_serial(const config& c, fields& f,
+                               const double* state_init, double* state_forcing,
+                               double* state_out, double dt, dir d) {
+  const double hv_coef = -hv_beta * (d == dir::x ? c.dx() : c.dz()) / (16 * dt);
+  if (d == dir::x) {
+    halo_x(c, state_forcing, f);
+    for (std::size_t k = 0; k < f.nz; ++k) {
+      for (std::size_t i = 0; i <= f.nx; ++i) {
+        flux_x_cell(c, f, state_forcing, f.flux.data(), k, i, hv_coef);
+      }
+    }
+    for (std::size_t k = 0; k < f.nz; ++k) {
+      for (std::size_t i = 0; i < f.nx; ++i) {
+        tend_x_cell(c, f, f.flux.data(), state_forcing, f.tend.data(), k, i);
+      }
+    }
+  } else {
+    halo_z(c, state_forcing, f);
+    for (std::size_t k = 0; k <= f.nz; ++k) {
+      for (std::size_t i = 0; i < f.nx; ++i) {
+        flux_z_cell(c, f, state_forcing, f.flux.data(), k, i, hv_coef);
+      }
+    }
+    for (std::size_t k = 0; k < f.nz; ++k) {
+      for (std::size_t i = 0; i < f.nx; ++i) {
+        tend_z_cell(c, f, f.flux.data(), state_forcing, f.tend.data(), k, i);
+      }
+    }
+  }
+  for (int v = 0; v < num_vars; ++v) {
+    for (std::size_t k = 0; k < f.nz; ++k) {
+      for (std::size_t i = 0; i < f.nx; ++i) {
+        apply_tend_cell(f, state_init, f.tend.data(), state_out, dt, v, k, i);
+      }
+    }
+  }
+}
+
+void step_serial(const config& c, fields& f, std::size_t step_index) {
+  const double dt = c.dt();
+  double* s = f.state.data();
+  double* tmp = f.state_tmp.data();
+  auto sweep = [&](dir d) {
+    semi_discrete_step_serial(c, f, s, s, tmp, dt / 3, d);
+    semi_discrete_step_serial(c, f, s, tmp, tmp, dt / 2, d);
+    semi_discrete_step_serial(c, f, s, tmp, s, dt, d);
+  };
+  if (step_index % 2 == 0) {
+    sweep(dir::x);
+    sweep(dir::z);
+  } else {
+    sweep(dir::z);
+    sweep(dir::x);
+  }
+}
+
+std::array<double, 2> reductions(const config& c, const fields& f) {
+  double mass = 0.0, te = 0.0;
+  const double cell_area = c.dx() * c.dz();
+  for (std::size_t k = 0; k < f.nz; ++k) {
+    for (std::size_t i = 0; i < f.nx; ++i) {
+      const double r = f.state_at(id_dens, k, i) + f.hy_dens[k + hs];
+      const double u = f.state_at(id_umom, k, i) / r;
+      const double w = f.state_at(id_wmom, k, i) / r;
+      const double th =
+          (f.state_at(id_rhot, k, i) + f.hy_dens_theta[k + hs]) / r;
+      const double p = C0 * std::pow(r * th, gamm);
+      const double t = th * std::pow(p / p0, rd / cp);
+      const double ke = r * (u * u + w * w);
+      const double ie = r * (cp - rd) * t;
+      mass += r * cell_area;
+      te += (ke + ie) * cell_area;
+    }
+  }
+  return {mass, te};
+}
+
+std::array<double, 2> run_serial(const config& c, fields& f) {
+  init_fields(c, f);
+  const std::size_t steps = c.num_steps();
+  for (std::size_t s = 0; s < steps; ++s) {
+    step_serial(c, f, s);
+  }
+  return reductions(c, f);
+}
+
+// Byte-traffic estimates per interior cell for the cost models (4 fields of
+// doubles; stencils amortize through cache, write-allocate counted once).
+double flux_bytes_per_cell() { return num_vars * 8.0 * 3.0; }
+double tend_bytes_per_cell() { return num_vars * 8.0 * 3.0; }
+double apply_bytes_per_cell() { return num_vars * 8.0 * 3.0; }
+double halo_bytes_per_cell() { return num_vars * 8.0 * 2.0; }
+
+}  // namespace miniweather

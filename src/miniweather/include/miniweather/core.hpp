@@ -1,0 +1,171 @@
+// miniWeather physics core (§VII-D): 2D compressible Euler equations with a
+// hydrostatic background, 4th-order finite-volume fluxes with
+// hyperviscosity, dimensional splitting, and low-storage RK time stepping —
+// a from-scratch port of M. Norman's ~500-line miniWeather app.
+//
+// The numerical routines are plain functions over raw field views so the
+// same core backs every driver: the serial CPU reference, the YAKL-like
+// launcher port, the hand-tuned multi-device port, and the CUDASTF version.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace miniweather {
+
+inline constexpr int num_vars = 4;  // rho', u-mom, w-mom, rho*theta'
+inline constexpr int id_dens = 0;
+inline constexpr int id_umom = 1;
+inline constexpr int id_wmom = 2;
+inline constexpr int id_rhot = 3;
+inline constexpr int hs = 2;  // halo size (4th-order stencil)
+
+/// Which direction a semi-discrete step advances.
+enum class dir : int { x = 0, z = 1 };
+
+/// Supported initial conditions ("injection" is the paper's testcase).
+enum class testcase : int { thermal, injection };
+
+/// Static problem description and derived constants.
+struct config {
+  std::size_t nx = 400;
+  std::size_t nz = 200;
+  double xlen = 2.0e4;  // meters
+  double zlen = 1.0e4;
+  double sim_time = 10.0;  // seconds of simulated weather
+  double cfl = 1.5;
+  testcase tc = testcase::injection;
+
+  double dx() const { return xlen / static_cast<double>(nx); }
+  double dz() const { return zlen / static_cast<double>(nz); }
+  /// Maximum stable time step (max wave speed 450 m/s as in miniWeather).
+  double dt() const {
+    const double d = dx() < dz() ? dx() : dz();
+    return cfl * d / 450.0;
+  }
+  std::size_t num_steps() const {
+    return static_cast<std::size_t>(sim_time / dt()) + 1;
+  }
+};
+
+/// A dumb owning double buffer that can skip zero-initialization so
+/// paper-scale timing-only runs keep tens of GB as unfaulted virtual memory.
+class dbuffer {
+ public:
+  dbuffer() = default;
+  dbuffer(std::size_t n, bool zero)
+      : p_(zero ? std::make_unique<double[]>(n)
+                : std::make_unique_for_overwrite<double[]>(n)),
+        n_(n) {}
+  double* data() { return p_.get(); }
+  const double* data() const { return p_.get(); }
+  std::size_t size() const { return n_; }
+  double& operator[](std::size_t i) { return p_[i]; }
+  const double& operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  std::unique_ptr<double[]> p_;
+  std::size_t n_ = 0;
+};
+
+/// Field storage, cell-major interleaved (AoS): the num_vars variables of a
+/// cell are adjacent, rows (z) vary slowest. The interleaving keeps a
+/// blocked split of the buffer aligned with a z-slab split of the domain,
+/// so composite (VMM) page mapping matches the multi-device kernel
+/// partition (§VI-B). Flux grids are (nz + 1) x (nx + 1).
+struct fields {
+  explicit fields(const config& c, bool zero_init = true);
+
+  std::size_t nx, nz;
+  std::size_t pitch;  ///< row length including halo
+
+  dbuffer state;      ///< (nz+2hs) * pitch * num_vars
+  dbuffer state_tmp;  ///< same shape as state
+  dbuffer flux;       ///< (nz+1) * (nx+1) * num_vars
+  dbuffer tend;       ///< nz * nx * num_vars
+  std::vector<double> hy_dens;        ///< nz + 2hs (background density)
+  std::vector<double> hy_dens_theta;  ///< nz + 2hs
+  std::vector<double> hy_dens_int;        ///< nz + 1 (interface values)
+  std::vector<double> hy_dens_theta_int;  ///< nz + 1
+  std::vector<double> hy_pressure_int;    ///< nz + 1
+
+  /// Index into state-shaped buffers; kh/ih include the halo offset.
+  std::size_t sidx(int v, std::size_t kh, std::size_t ih) const {
+    return (kh * pitch + ih) * num_vars + static_cast<std::size_t>(v);
+  }
+  /// Index into the flux grid (interfaces).
+  std::size_t fidx(int v, std::size_t k, std::size_t i) const {
+    return (k * (nx + 1) + i) * num_vars + static_cast<std::size_t>(v);
+  }
+  /// Index into the tendency grid (interior cells).
+  std::size_t tidx(int v, std::size_t k, std::size_t i) const {
+    return (k * nx + i) * num_vars + static_cast<std::size_t>(v);
+  }
+  /// Interior accessor for tests and reductions.
+  double state_at(int v, std::size_t k, std::size_t i) const {
+    return state[sidx(v, k + hs, i + hs)];
+  }
+};
+
+/// Initializes the hydrostatic background and the chosen test case.
+void init_fields(const config& c, fields& f);
+
+// --- the numerical kernels (each one maps to one generated GPU kernel) ---
+
+/// Applies the x-direction halo: periodic, plus the injection jet on the
+/// left boundary for testcase::injection.
+void halo_x(const config& c, double* state, const fields& f);
+/// Single-row variant (one generated-kernel work item).
+void halo_x_row(const config& c, double* state, const fields& f,
+                std::size_t k);
+
+/// Applies the z-direction halo: solid wall (mirror, w = 0).
+void halo_z(const config& c, double* state, const fields& f);
+/// Single-column variant (one generated-kernel work item).
+void halo_z_col(const config& c, double* state, const fields& f,
+                std::size_t i);
+
+/// 4th-order fluxes with hyperviscosity, x direction, for interface i of
+/// row k. Writes flux planes.
+void flux_x_cell(const config& c, const fields& f, const double* state,
+                 double* flux, std::size_t k, std::size_t i, double hv_coef);
+void flux_z_cell(const config& c, const fields& f, const double* state,
+                 double* flux, std::size_t k, std::size_t i, double hv_coef);
+
+/// Tendencies from flux divergence (plus gravity source in z).
+void tend_x_cell(const config& c, const fields& f, const double* flux,
+                 const double* state, double* tend, std::size_t k, std::size_t i);
+void tend_z_cell(const config& c, const fields& f, const double* flux,
+                 const double* state, double* tend, std::size_t k, std::size_t i);
+
+/// state_out = state_init + dt * tend for one cell of one variable plane.
+void apply_tend_cell(const fields& f, const double* state_init,
+                     const double* tend, double* state_out, double dt, int var,
+                     std::size_t k, std::size_t i);
+
+/// One full serial semi-discrete step (reference driver building block).
+void semi_discrete_step_serial(const config& c, fields& f,
+                               const double* state_init, double* state_forcing,
+                               double* state_out, double dt, dir d);
+
+/// Advances the reference (serial CPU) simulation by one RK time step
+/// (three-stage low-storage scheme, directions alternating per step).
+void step_serial(const config& c, fields& f, std::size_t step_index);
+
+/// Runs the full reference simulation; returns (mass, total energy proxy)
+/// integrals for validation.
+std::array<double, 2> run_serial(const config& c, fields& f);
+
+/// Domain integrals used for conservation checks.
+std::array<double, 2> reductions(const config& c, const fields& f);
+
+/// Per-cell byte-traffic estimates used by every driver's cost model so the
+/// comparison across drivers is apples-to-apples.
+double flux_bytes_per_cell();
+double tend_bytes_per_cell();
+double apply_bytes_per_cell();
+double halo_bytes_per_cell();
+
+}  // namespace miniweather

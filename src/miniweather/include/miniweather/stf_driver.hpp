@@ -1,0 +1,58 @@
+// CUDASTF driver for miniWeather (§VII-D): every field is a logical data
+// object, every nested loop of the original code is a parallel_for, the
+// NetCDF-style output runs as a host task overlapped with device work, and
+// the same code runs on one device, a grid of devices (composite data
+// places + VMM), and on either the stream or the graph backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+#include "miniweather/core.hpp"
+
+namespace miniweather {
+
+struct stf_options {
+  bool compute = true;       ///< run numerical bodies (tests) or timing only
+  bool fence_per_step = true;///< epoch per time step (graph memoization)
+  std::size_t io_interval = 0;  ///< host output task every N steps (0 = off)
+};
+
+/// Owns the logical data and submits the simulation through a context.
+class stf_simulation {
+ public:
+  stf_simulation(cudastf::context& ctx, const config& c,
+                 cudastf::exec_place where, stf_options opts = {});
+
+  /// Submits `steps` RK time steps (asynchronously).
+  void run_steps(std::size_t steps);
+
+  /// Submits the whole configured simulation.
+  void run() { run_steps(cfg_.num_steps()); }
+
+  /// Host-side field storage (valid after ctx.finalize()).
+  fields& host_fields() { return f_; }
+  const config& cfg() const { return cfg_; }
+  /// Number of host I/O tasks that ran.
+  std::size_t io_count() const { return *io_count_; }
+
+ private:
+  void semi_step(cudastf::logical_data<cudastf::slice<double>>& init,
+                 cudastf::logical_data<cudastf::slice<double>>& forcing,
+                 cudastf::logical_data<cudastf::slice<double>>& out,
+                 double dt, dir d);
+
+  cudastf::context& ctx_;
+  config cfg_;
+  stf_options opts_;
+  cudastf::exec_place where_;
+  fields f_;
+  std::size_t step_index_ = 0;
+  std::shared_ptr<std::size_t> io_count_;
+
+  cudastf::logical_data<cudastf::slice<double>> lstate_, ltmp_, lflux_, ltend_;
+};
+
+}  // namespace miniweather

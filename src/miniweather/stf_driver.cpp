@@ -1,0 +1,164 @@
+#include "miniweather/stf_driver.hpp"
+
+namespace miniweather {
+
+using cudastf::box;
+using cudastf::slice;
+
+namespace {
+constexpr double hv_beta = 0.25;
+}
+
+stf_simulation::stf_simulation(cudastf::context& ctx, const config& c,
+                               cudastf::exec_place where, stf_options opts)
+    : ctx_(ctx), cfg_(c), opts_(opts), where_(std::move(where)),
+      f_(c, /*zero_init=*/opts.compute),
+      io_count_(std::make_shared<std::size_t>(0)) {
+  ctx_.set_compute_payloads(opts_.compute);
+  init_fields(cfg_, f_);
+  lstate_ = ctx_.logical_data(f_.state.data(), f_.state.size(), "state");
+  // tmp/flux/tend are temporaries with no original host location: the
+  // runtime allocates device instances on demand and never writes back.
+  ltmp_ = ctx_.logical_data<double, 1>(cudastf::box<1>(f_.state_tmp.size()),
+                                       "state_tmp");
+  lflux_ = ctx_.logical_data<double, 1>(cudastf::box<1>(f_.flux.size()), "flux");
+  ltend_ = ctx_.logical_data<double, 1>(cudastf::box<1>(f_.tend.size()), "tend");
+}
+
+void stf_simulation::semi_step(cudastf::logical_data<slice<double>>& init,
+                               cudastf::logical_data<slice<double>>& forcing,
+                               cudastf::logical_data<slice<double>>& out,
+                               double dt, dir d) {
+  const config c = cfg_;
+  // Geometry + background columns: small read-only constants, captured by
+  // pointer like CUDA __constant__ data (the fields object outlives tasks).
+  const fields* gf = &f_;
+  const double hv_coef =
+      -hv_beta * (d == dir::x ? c.dx() : c.dz()) / (16 * dt);
+
+  // 1) Halo exchange on the forcing state (one work item per row/column).
+  if (d == dir::x) {
+    ctx_.parallel_for(where_, box<1>(f_.nz + 2 * hs), forcing.rw())
+            .set_symbol("halo_x")
+            .set_bytes_per_element(halo_bytes_per_cell() * 8)
+            ->*[c, gf](std::size_t k, slice<double> st) {
+      halo_x_row(c, st.data_handle(), *gf, k);
+    };
+  } else {
+    ctx_.parallel_for(where_, box<1>(f_.nx + 2 * hs), forcing.rw())
+            .set_symbol("halo_z")
+            .set_bytes_per_element(halo_bytes_per_cell() * 8)
+            ->*[c, gf](std::size_t i, slice<double> st) {
+      halo_z_col(c, st.data_handle(), *gf, i);
+    };
+  }
+
+  // 2) Fluxes.
+  if (d == dir::x) {
+    ctx_.parallel_for(where_, box<2>(f_.nz, f_.nx + 1), forcing.read(),
+                      lflux_.write())
+            .set_symbol("flux_x")
+            .set_bytes_per_element(flux_bytes_per_cell())
+            ->*[c, gf, hv_coef](std::size_t k, std::size_t i,
+                                slice<const double> st, slice<double> fl) {
+      flux_x_cell(c, *gf, st.data_handle(), fl.data_handle(), k, i, hv_coef);
+    };
+  } else {
+    ctx_.parallel_for(where_, box<2>(f_.nz + 1, f_.nx), forcing.read(),
+                      lflux_.write())
+            .set_symbol("flux_z")
+            .set_bytes_per_element(flux_bytes_per_cell())
+            ->*[c, gf, hv_coef](std::size_t k, std::size_t i,
+                                slice<const double> st, slice<double> fl) {
+      flux_z_cell(c, *gf, st.data_handle(), fl.data_handle(), k, i, hv_coef);
+    };
+  }
+
+  // 3) Tendencies from flux divergence.
+  if (d == dir::x) {
+    ctx_.parallel_for(where_, box<2>(f_.nz, f_.nx), lflux_.read(),
+                      ltend_.write())
+            .set_symbol("tend_x")
+            .set_bytes_per_element(tend_bytes_per_cell())
+            ->*[c, gf](std::size_t k, std::size_t i, slice<const double> fl,
+                       slice<double> tn) {
+      tend_x_cell(c, *gf, fl.data_handle(), nullptr, tn.data_handle(), k, i);
+    };
+  } else {
+    ctx_.parallel_for(where_, box<2>(f_.nz, f_.nx), lflux_.read(),
+                      forcing.read(), ltend_.write())
+            .set_symbol("tend_z")
+            .set_bytes_per_element(tend_bytes_per_cell())
+            ->*[c, gf](std::size_t k, std::size_t i, slice<const double> fl,
+                       slice<const double> st, slice<double> tn) {
+      tend_z_cell(c, *gf, fl.data_handle(), st.data_handle(),
+                  tn.data_handle(), k, i);
+    };
+  }
+
+  // 4) state_out = state_init + dt * tend. When out and init are the same
+  // logical data a single rw dependency is used.
+  const bool in_place = out.impl() == init.impl();
+  auto body = [gf, dt](std::size_t v, std::size_t k, std::size_t i,
+                       const double* si, const double* tn, double* so) {
+    apply_tend_cell(*gf, si, tn, so, dt, static_cast<int>(v), k, i);
+  };
+  if (in_place) {
+    ctx_.parallel_for(where_, box<3>(num_vars, f_.nz, f_.nx), ltend_.read(),
+                      out.rw())
+            .set_symbol("apply")
+            .set_bytes_per_element(apply_bytes_per_cell() / num_vars)
+            ->*[body](std::size_t v, std::size_t k, std::size_t i,
+                      slice<const double> tn, slice<double> so) {
+      body(v, k, i, so.data_handle(), tn.data_handle(), so.data_handle());
+    };
+  } else {
+    ctx_.parallel_for(where_, box<3>(num_vars, f_.nz, f_.nx), init.read(),
+                      ltend_.read(), out.write())
+            .set_symbol("apply")
+            .set_bytes_per_element(apply_bytes_per_cell() / num_vars)
+            ->*[body](std::size_t v, std::size_t k, std::size_t i,
+                      slice<const double> si, slice<const double> tn,
+                      slice<double> so) {
+      body(v, k, i, si.data_handle(), tn.data_handle(), so.data_handle());
+    };
+  }
+}
+
+void stf_simulation::run_steps(std::size_t steps) {
+  const double dt = cfg_.dt();
+  for (std::size_t s = 0; s < steps; ++s) {
+    auto sweep = [&](dir d) {
+      semi_step(lstate_, lstate_, ltmp_, dt / 3, d);
+      semi_step(lstate_, ltmp_, ltmp_, dt / 2, d);
+      semi_step(lstate_, ltmp_, lstate_, dt, d);
+    };
+    if (step_index_ % 2 == 0) {
+      sweep(dir::x);
+      sweep(dir::z);
+    } else {
+      sweep(dir::z);
+      sweep(dir::x);
+    }
+    ++step_index_;
+    if (opts_.io_interval != 0 && step_index_ % opts_.io_interval == 0) {
+      // NetCDF-style output as a host task, overlapped with device work
+      // (the paper moves file I/O to a host-localized task).
+      auto counter = io_count_;
+      ctx_.host_launch(lstate_.read())
+              .set_symbol("netcdf_io")
+              .set_host_cost(1.0e-3)
+              ->*[counter](slice<const double> st) {
+        // Stand-in for writing a record: touch the data, bump the counter.
+        volatile double sink = st(0);
+        (void)sink;
+        ++*counter;
+      };
+    }
+    if (opts_.fence_per_step) {
+      ctx_.fence();
+    }
+  }
+}
+
+}  // namespace miniweather

@@ -1,0 +1,52 @@
+// TaskBench-inspired dependency topologies (Table I): generators for the
+// graph shapes used to measure task-submission overhead. Each task (t, i)
+// in a width x steps grid declares which columns of the previous step it
+// reads; the STF runtime then derives exactly these edges from data
+// accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taskbench {
+
+enum class topology { trivial, tree, fft, sweep, random_graph, stencil };
+
+inline const char* name(topology t) {
+  switch (t) {
+    case topology::trivial: return "TRIVIAL";
+    case topology::tree: return "TREE";
+    case topology::fft: return "FFT";
+    case topology::sweep: return "SWEEP";
+    case topology::random_graph: return "RANDOM";
+    case topology::stencil: return "STENCIL";
+  }
+  return "?";
+}
+
+inline std::vector<topology> all_topologies() {
+  return {topology::trivial, topology::tree,   topology::fft,
+          topology::sweep,   topology::random_graph, topology::stencil};
+}
+
+/// One task of the benchmark graph.
+struct task_node {
+  std::uint32_t step = 0;
+  std::uint32_t column = 0;
+  /// Columns of the previous step whose output this task reads. The task
+  /// also rewrites its own column (except in TRIVIAL, where every task is
+  /// fully independent).
+  std::vector<std::uint32_t> deps;
+};
+
+/// Generates a `width x steps` task grid of the given topology.
+/// TRIVIAL emits exactly width*steps fully independent tasks.
+std::vector<task_node> generate(topology t, std::uint32_t width,
+                                std::uint32_t steps, std::uint64_t seed = 1);
+
+/// Average number of read dependencies per task (the parenthesized numbers
+/// in Table I).
+double average_deps(const std::vector<task_node>& tasks);
+
+}  // namespace taskbench

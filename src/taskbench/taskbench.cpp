@@ -1,0 +1,89 @@
+#include "taskbench/taskbench.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace taskbench {
+
+std::vector<task_node> generate(topology t, std::uint32_t width,
+                                std::uint32_t steps, std::uint64_t seed) {
+  if (width == 0 || steps == 0) {
+    throw std::invalid_argument("taskbench: empty grid");
+  }
+  std::vector<task_node> out;
+  out.reserve(static_cast<std::size_t>(width) * steps);
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(0.4);
+
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    for (std::uint32_t i = 0; i < width; ++i) {
+      task_node n;
+      n.step = s;
+      n.column = i;
+      if (s > 0) {
+        switch (t) {
+          case topology::trivial:
+            break;  // no dependencies at all
+          case topology::tree:
+            // Binary-tree fan-out: task i reads its parent column i/2.
+            if (i / 2 != i) {
+              n.deps.push_back(i / 2);
+            }
+            break;
+          case topology::fft: {
+            // Butterfly partner at distance 2^(s-1 mod log2(width)).
+            std::uint32_t span = 1u << ((s - 1) % 16);
+            span %= width;
+            const std::uint32_t partner = i ^ span;
+            if (partner < width && partner != i) {
+              n.deps.push_back(partner);
+            }
+            break;
+          }
+          case topology::sweep:
+            // Wavefront: own column plus the left neighbour.
+            if (i > 0) {
+              n.deps.push_back(i - 1);
+            }
+            break;
+          case topology::random_graph:
+            // Each of three candidate predecessors kept with p = 0.4,
+            // plus a mandatory self edge half of the time.
+            for (int c = 0; c < 3; ++c) {
+              const auto j = static_cast<std::uint32_t>(rng() % width);
+              if (coin(rng) && j != i) {
+                n.deps.push_back(j);
+              }
+            }
+            break;
+          case topology::stencil:
+            // 1D three-point stencil.
+            if (i > 0) {
+              n.deps.push_back(i - 1);
+            }
+            if (i + 1 < width) {
+              n.deps.push_back(i + 1);
+            }
+            break;
+        }
+      }
+      out.push_back(std::move(n));
+    }
+  }
+  return out;
+}
+
+double average_deps(const std::vector<task_node>& tasks) {
+  if (tasks.empty()) {
+    return 0.0;
+  }
+  std::size_t total = 0;
+  for (const auto& t : tasks) {
+    total += t.deps.size();
+    // The implicit self column rewrite is an additional RAW edge after the
+    // first step for every topology except TRIVIAL.
+  }
+  return static_cast<double>(total) / static_cast<double>(tasks.size());
+}
+
+}  // namespace taskbench

@@ -1,0 +1,152 @@
+// Host BLAS reference kernels and their simulated-device wrappers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blaslib/blas_host.hpp"
+#include "blaslib/blas_sim.hpp"
+#include "cudasim/cudasim.hpp"
+
+namespace {
+
+using namespace blaslib;
+using cudastf::slice;
+
+TEST(BlasHost, GemmPlain) {
+  // 2x3 * 3x2 = 2x2
+  std::vector<double> a{1, 2, 3, 4, 5, 6};
+  std::vector<double> b{7, 8, 9, 10, 11, 12};
+  std::vector<double> c(4, 1.0);
+  gemm_host(false, false, 1.0, slice<const double, 2>(a.data(), 2, 3),
+            slice<const double, 2>(b.data(), 3, 2), 2.0,
+            slice<double, 2>(c.data(), 2, 2));
+  EXPECT_DOUBLE_EQ(c[0], 1 * 7 + 2 * 9 + 3 * 11 + 2.0);
+  EXPECT_DOUBLE_EQ(c[3], 4 * 8 + 5 * 10 + 6 * 12 + 2.0);
+}
+
+TEST(BlasHost, GemmTransB) {
+  // C = A * B^T with A 2x3, B 2x3.
+  std::vector<double> a{1, 0, 2, 0, 3, 0};
+  std::vector<double> b{1, 1, 1, 2, 2, 2};
+  std::vector<double> c(4, 0.0);
+  gemm_host(false, true, 1.0, slice<const double, 2>(a.data(), 2, 3),
+            slice<const double, 2>(b.data(), 2, 3), 0.0,
+            slice<double, 2>(c.data(), 2, 2));
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 6.0);
+}
+
+TEST(BlasHost, PotrfIdentityScaled) {
+  std::vector<double> a{4, 0, 0, 9};
+  ASSERT_TRUE(potrf_host(slice<double, 2>(a.data(), 2, 2)));
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[3], 3.0);
+}
+
+TEST(BlasHost, PotrfRejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(potrf_host(slice<double, 2>(a.data(), 2, 2)));
+}
+
+TEST(BlasHost, CholeskyReconstructs) {
+  constexpr std::size_t n = 24;
+  std::vector<double> a(n * n), orig;
+  fill_spd(a.data(), n, 7);
+  orig = a;
+  ASSERT_TRUE(cholesky_reference(a.data(), n));
+  // L * L^T must reproduce the original (lower part).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) {
+        acc += a[i * n + p] * a[j * n + p];
+      }
+      EXPECT_NEAR(acc, orig[i * n + j], 1e-9 * n) << i << "," << j;
+    }
+  }
+}
+
+TEST(BlasHost, TrsmSolvesAgainstPotrf) {
+  // After potrf(Akk), trsm must satisfy X * L^T = B.
+  constexpr std::size_t nb = 8;
+  std::vector<double> l(nb * nb), b(nb * nb), x;
+  fill_spd(l.data(), nb, 3);
+  ASSERT_TRUE(potrf_host(slice<double, 2>(l.data(), nb, nb)));
+  for (std::size_t i = 0; i < nb * nb; ++i) {
+    b[i] = double(i % 7) - 3.0;
+  }
+  x = b;
+  trsm_host(slice<const double, 2>(l.data(), nb, nb),
+            slice<double, 2>(x.data(), nb, nb));
+  // Check X * L^T == B.
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) {
+        acc += x[i * nb + p] * l[j * nb + p];
+      }
+      EXPECT_NEAR(acc, b[i * nb + j], 1e-9);
+    }
+  }
+}
+
+TEST(BlasHost, SyrkLowerTriangle) {
+  std::vector<double> a{1, 2, 3, 4};  // 2x2
+  std::vector<double> c{10, -1, 20, 30};
+  syrk_host(-1.0, slice<const double, 2>(a.data(), 2, 2), 1.0,
+            slice<double, 2>(c.data(), 2, 2));
+  EXPECT_DOUBLE_EQ(c[0], 10 - (1 + 4));
+  EXPECT_DOUBLE_EQ(c[2], 20 - (3 + 8));
+  EXPECT_DOUBLE_EQ(c[3], 30 - (9 + 16));
+  EXPECT_DOUBLE_EQ(c[1], -1);  // upper untouched
+}
+
+TEST(BlasSim, FlopCounts) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(potrf_flops(10), 1000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(4, 4), 64.0);
+}
+
+TEST(BlasSim, GemmTimingMatchesModel) {
+  cudasim::platform p(1, cudasim::a100_desc());
+  cudasim::stream s(p);
+  constexpr std::size_t nb = 1960;
+  std::vector<double> a(nb * nb), b(nb * nb), c(nb * nb);
+  dgemm(p, s, false, true, -1.0, slice<const double, 2>(a.data(), nb, nb),
+        slice<const double, 2>(b.data(), nb, nb), 1.0,
+        slice<double, 2>(c.data(), nb, nb), /*compute=*/false);
+  s.synchronize();
+  const double expect = gemm_flops(nb, nb, nb) / 17.0e12;
+  EXPECT_NEAR(p.now(), expect, expect * 0.1);
+}
+
+TEST(BlasSim, DeviceReduceMatchesSum) {
+  cudasim::platform p(1, cudasim::a100_desc());
+  cudasim::stream s(p);
+  std::vector<double> v(10000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = double(i);
+  }
+  double out = 0.0;
+  device_reduce_sum(p, s, slice<const double>(v.data(), v.size()), &out);
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(out, 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(BlasSim, DeviceReduceBandwidthNearPeak) {
+  cudasim::platform p(1, cudasim::a100_desc());
+  cudasim::stream s(p);
+  const std::size_t n = 1u << 26;  // 512 MB
+  std::vector<double> v(1);       // timing only: desc carries the size
+  double out;
+  device_reduce_sum(p, s, slice<const double>(v.data(), n), &out, false);
+  s.synchronize();
+  const double gbps = 8.0 * double(n) / p.now() / 1e9;
+  EXPECT_GT(gbps, 1700.0);
+  EXPECT_LT(gbps, 1850.0);
+}
+
+}  // namespace

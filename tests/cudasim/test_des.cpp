@@ -1,0 +1,190 @@
+// Unit tests for the discrete-event core: ordering, engine exclusivity,
+// dependency timing, body execution order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudasim/des.hpp"
+
+namespace {
+
+using cudasim::engine;
+using cudasim::engine_kind;
+using cudasim::op_node;
+using cudasim::timeline;
+
+TEST(Des, SingleOpCompletesWithDuration) {
+  timeline tl;
+  engine eng(engine_kind::compute);
+  op_node* n = tl.make_node("a", 0, &eng, 2.0);
+  tl.submit(n);
+  tl.drain();
+  EXPECT_DOUBLE_EQ(n->t_start, 0.0);
+  EXPECT_DOUBLE_EQ(n->t_end, 2.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 2.0);
+}
+
+TEST(Des, SameEngineSerializes) {
+  timeline tl;
+  engine eng(engine_kind::compute);
+  op_node* a = tl.make_node("a", 0, &eng, 1.0);
+  op_node* b = tl.make_node("b", 0, &eng, 1.0);
+  tl.submit(a);
+  tl.submit(b);
+  tl.drain();
+  EXPECT_DOUBLE_EQ(a->t_end, 1.0);
+  EXPECT_DOUBLE_EQ(b->t_start, 1.0);
+  EXPECT_DOUBLE_EQ(b->t_end, 2.0);
+}
+
+TEST(Des, IndependentEnginesOverlap) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine e2(engine_kind::copy_in);
+  op_node* a = tl.make_node("a", 0, &e1, 3.0);
+  op_node* b = tl.make_node("b", 0, &e2, 2.0);
+  tl.submit(a);
+  tl.submit(b);
+  tl.drain();
+  EXPECT_DOUBLE_EQ(a->t_start, 0.0);
+  EXPECT_DOUBLE_EQ(b->t_start, 0.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 3.0);
+}
+
+TEST(Des, DependencyDelaysStart) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine e2(engine_kind::copy_in);
+  op_node* a = tl.make_node("a", 0, &e1, 3.0);
+  op_node* b = tl.make_node("b", 0, &e2, 2.0);
+  timeline::add_dep(a, b);
+  tl.submit(a);
+  tl.submit(b);
+  tl.drain();
+  EXPECT_DOUBLE_EQ(b->t_start, 3.0);
+  EXPECT_DOUBLE_EQ(b->t_end, 5.0);
+}
+
+TEST(Des, DiamondDependencyJoinsAtMax) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine e2(engine_kind::copy_in);
+  engine e3(engine_kind::copy_out);
+  op_node* root = tl.make_node("root", 0, &e1, 1.0);
+  op_node* left = tl.make_node("left", 0, &e2, 5.0);
+  op_node* right = tl.make_node("right", 0, &e3, 2.0);
+  op_node* join = tl.make_node("join", 0, &e1, 1.0);
+  timeline::add_dep(root, left);
+  timeline::add_dep(root, right);
+  timeline::add_dep(left, join);
+  timeline::add_dep(right, join);
+  for (op_node* n : {root, left, right, join}) {
+    tl.submit(n);
+  }
+  tl.drain();
+  EXPECT_DOUBLE_EQ(join->t_start, 6.0);
+  EXPECT_DOUBLE_EQ(join->t_end, 7.0);
+}
+
+TEST(Des, MarkerNodesCostNothing) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  op_node* a = tl.make_node("a", 0, &e1, 4.0);
+  op_node* marker = tl.make_node("m", 0, nullptr, 0.0);
+  timeline::add_dep(a, marker);
+  tl.submit(a);
+  tl.submit(marker);
+  tl.drain();
+  EXPECT_DOUBLE_EQ(marker->t_end, 4.0);
+}
+
+TEST(Des, BodiesRunInTopologicalOrder) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine e2(engine_kind::copy_in);
+  std::vector<int> order;
+  op_node* a = tl.make_node("a", 0, &e1, 5.0, [&] { order.push_back(1); });
+  op_node* b = tl.make_node("b", 0, &e2, 1.0, [&] { order.push_back(2); });
+  op_node* c = tl.make_node("c", 0, &e2, 1.0, [&] { order.push_back(3); });
+  timeline::add_dep(a, c);
+  timeline::add_dep(b, c);
+  for (op_node* n : {a, b, c}) {
+    tl.submit(n);
+  }
+  tl.drain();
+  ASSERT_EQ(order.size(), 3u);
+  // b (t=1) before a (t=5) before c.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(Des, DrainUntilStopsEarly) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine e2(engine_kind::copy_in);
+  op_node* a = tl.make_node("a", 0, &e1, 1.0);
+  op_node* b = tl.make_node("b", 0, &e2, 100.0);
+  tl.submit(a);
+  tl.submit(b);
+  tl.drain_until(a);
+  EXPECT_TRUE(a->done);
+  EXPECT_FALSE(b->done);
+  tl.drain();
+  EXPECT_TRUE(b->done);
+}
+
+TEST(Des, CompletedPredecessorIsIgnoredByAddDep) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  op_node* a = tl.make_node("a", 0, &e1, 1.0);
+  tl.submit(a);
+  tl.drain();
+  op_node* b = tl.make_node("b", 0, &e1, 1.0);
+  timeline::add_dep(a, b);  // no-op: a already done
+  tl.submit(b);
+  tl.drain();
+  EXPECT_TRUE(b->done);
+}
+
+TEST(Des, FifoAmongReadyOpsOnOneEngine) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  engine gate_eng(engine_kind::copy_in);
+  // gate releases x and y at the same instant; x became ready first in
+  // submission order after the gate, so it runs first.
+  op_node* gate = tl.make_node("gate", 0, &gate_eng, 1.0);
+  op_node* x = tl.make_node("x", 0, &e1, 1.0);
+  op_node* y = tl.make_node("y", 0, &e1, 1.0);
+  timeline::add_dep(gate, x);
+  timeline::add_dep(gate, y);
+  for (op_node* n : {gate, x, y}) {
+    tl.submit(n);
+  }
+  tl.drain();
+  EXPECT_DOUBLE_EQ(x->t_start, 1.0);
+  EXPECT_DOUBLE_EQ(y->t_start, 2.0);
+}
+
+TEST(Des, ThrowsOnWaitForUnsubmittable) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  op_node* a = tl.make_node("a", 0, &e1, 1.0);
+  op_node* b = tl.make_node("b", 0, &e1, 1.0);
+  timeline::add_dep(a, b);
+  tl.submit(b);  // a never submitted -> b can never become ready
+  EXPECT_THROW(tl.drain_until(b), std::logic_error);
+}
+
+TEST(Des, GcReclaimsManyNodes) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  for (int i = 0; i < 10000; ++i) {
+    tl.submit(tl.make_node("n", 0, &e1, 1e-9));
+  }
+  tl.drain();
+  tl.gc();
+  EXPECT_EQ(tl.completed_count(), 10000u);
+}
+
+}  // namespace

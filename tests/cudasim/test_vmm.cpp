@@ -1,0 +1,131 @@
+// Tests for the simulated Virtual Memory Management layer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cudasim/cudasim.hpp"
+
+namespace {
+
+using namespace cudasim;
+
+TEST(Vmm, ReservationRoundsUpToPages) {
+  platform p(2, test_desc());
+  vmm::reservation r(p, 100);
+  EXPECT_EQ(r.size(), vmm::page_size);
+  EXPECT_EQ(r.page_count(), 1u);
+  vmm::reservation r2(p, vmm::page_size + 1);
+  EXPECT_EQ(r2.page_count(), 2u);
+}
+
+TEST(Vmm, UnmappedPagesHaveNoOwner) {
+  platform p(2, test_desc());
+  vmm::reservation r(p, 4 * vmm::page_size);
+  EXPECT_EQ(r.owner_of(0), -1);
+  EXPECT_EQ(r.owner_of(3 * vmm::page_size), -1);
+}
+
+TEST(Vmm, MapPagesAssignsOwnersAndChargesPools) {
+  device_desc d = test_desc();
+  d.mem_capacity = 8 * vmm::page_size;
+  platform p(2, d);
+  vmm::reservation r(p, 4 * vmm::page_size);
+  r.map_pages(0, 2, 0);
+  r.map_pages(2, 2, 1);
+  EXPECT_EQ(r.owner_of(0), 0);
+  EXPECT_EQ(r.owner_of(2 * vmm::page_size), 1);
+  EXPECT_EQ(p.device(0).pool_used(), 2 * vmm::page_size);
+  EXPECT_EQ(p.device(1).pool_used(), 2 * vmm::page_size);
+}
+
+TEST(Vmm, RemapMovesCharge) {
+  device_desc d = test_desc();
+  d.mem_capacity = 8 * vmm::page_size;
+  platform p(2, d);
+  vmm::reservation r(p, 2 * vmm::page_size);
+  r.map_pages(0, 2, 0);
+  r.map_pages(0, 2, 1);
+  EXPECT_EQ(p.device(0).pool_used(), 0u);
+  EXPECT_EQ(p.device(1).pool_used(), 2 * vmm::page_size);
+}
+
+TEST(Vmm, ReleaseReturnsCharge) {
+  device_desc d = test_desc();
+  d.mem_capacity = 8 * vmm::page_size;
+  platform p(1, d);
+  {
+    vmm::reservation r(p, 4 * vmm::page_size);
+    r.map_pages(0, 4, 0);
+    EXPECT_EQ(p.device(0).pool_used(), 4 * vmm::page_size);
+  }
+  EXPECT_EQ(p.device(0).pool_used(), 0u);
+}
+
+TEST(Vmm, MemoryIsReadableAndWritable) {
+  platform p(1, test_desc());
+  vmm::reservation r(p, vmm::page_size);
+  r.map_pages(0, 1, 0);
+  auto* data = static_cast<double*>(r.data());
+  data[0] = 3.5;
+  data[100] = -1.0;
+  EXPECT_DOUBLE_EQ(data[0], 3.5);
+  EXPECT_DOUBLE_EQ(data[100], -1.0);
+}
+
+TEST(Vmm, ClassifySplitsLocalRemote) {
+  device_desc d = test_desc();
+  d.mem_capacity = 16 * vmm::page_size;
+  platform p(2, d);
+  vmm::reservation r(p, 4 * vmm::page_size);
+  r.map_pages(0, 2, 0);
+  r.map_pages(2, 2, 1);
+  // From device 0's perspective: first two pages local, last two remote.
+  auto split = r.classify(0, 4 * vmm::page_size, 0);
+  EXPECT_DOUBLE_EQ(split.local, 2.0 * vmm::page_size);
+  EXPECT_DOUBLE_EQ(split.remote, 2.0 * vmm::page_size);
+  // Sub-page range fully local.
+  auto split2 = r.classify(100, 1000, 0);
+  EXPECT_DOUBLE_EQ(split2.local, 1000.0);
+  EXPECT_DOUBLE_EQ(split2.remote, 0.0);
+  // Range straddling the ownership boundary.
+  auto split3 = r.classify(2 * vmm::page_size - 512, 1024, 0);
+  EXPECT_DOUBLE_EQ(split3.local, 512.0);
+  EXPECT_DOUBLE_EQ(split3.remote, 512.0);
+}
+
+TEST(Vmm, ClassifyChargesUnmappedAsRemote) {
+  platform p(1, test_desc());
+  vmm::reservation r(p, vmm::page_size);
+  auto split = r.classify(0, 128, 0);
+  EXPECT_DOUBLE_EQ(split.remote, 128.0);
+}
+
+TEST(Vmm, BytesPerDeviceSums) {
+  device_desc d = test_desc();
+  d.mem_capacity = 16 * vmm::page_size;
+  platform p(2, d);
+  vmm::reservation r(p, 5 * vmm::page_size);
+  r.map_pages(0, 3, 0);
+  r.map_pages(3, 2, 1);
+  auto per = r.bytes_per_device();
+  EXPECT_EQ(per[0], 3 * vmm::page_size);
+  EXPECT_EQ(per[1], 2 * vmm::page_size);
+}
+
+TEST(Vmm, MapBeyondReservationThrows) {
+  platform p(1, test_desc());
+  vmm::reservation r(p, vmm::page_size);
+  EXPECT_THROW(r.map_pages(0, 2, 0), std::out_of_range);
+  EXPECT_THROW(r.map_pages(0, 1, 7), std::out_of_range);
+}
+
+TEST(Vmm, PoolExhaustionThrowsOnMap) {
+  device_desc d = test_desc();
+  d.mem_capacity = vmm::page_size;  // one page only
+  platform p(1, d);
+  vmm::reservation r(p, 2 * vmm::page_size);
+  r.map_pages(0, 1, 0);
+  EXPECT_THROW(r.map_pages(1, 1, 0), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// HEFT-style automatic task placement (§IX extension): load balancing of
+// independent tasks, data-affinity awareness, correctness under automatic
+// placement, and interaction with eviction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+using namespace cudastf;
+
+cudasim::device_desc tdesc() {
+  auto d = cudasim::test_desc();
+  d.mem_capacity = 256u << 20;
+  return d;
+}
+
+TEST(Heft, IndependentTasksSpreadAcrossDevices) {
+  cudasim::scoped_platform sp(4, tdesc());
+  cudasim::platform& p = sp.get();
+  context ctx(p);
+  std::vector<std::vector<double>> host(8, std::vector<double>(1 << 16, 1.0));
+  std::set<int> used;
+  for (auto& h : host) {
+    auto ld = ctx.logical_data(h.data(), h.size(), "v");
+    ctx.task(exec_place::automatic(), ld.rw())->*
+        [&](cudasim::stream& s, slice<double>) { used.insert(s.device()); };
+  }
+  ctx.finalize();
+  EXPECT_EQ(used.size(), 4u);  // all devices participate
+}
+
+TEST(Heft, PrefersDeviceHoldingTheData) {
+  cudasim::scoped_platform sp(4, tdesc());
+  cudasim::platform& p = sp.get();
+  context ctx(p);
+  std::vector<double> big(1 << 18, 1.0);
+  auto ld = ctx.logical_data(big.data(), big.size(), "big");
+  // Pin the data to device 2 first.
+  ctx.task(exec_place::device(2), ld.rw())->*
+      [](cudasim::stream&, slice<double>) {};
+  // Subsequent automatic tasks on the same data should stay on device 2:
+  // moving it would pay the transfer.
+  int chosen = -1;
+  ctx.task(exec_place::automatic(), ld.rw())->*
+      [&](cudasim::stream& s, slice<double>) { chosen = s.device(); };
+  ctx.finalize();
+  EXPECT_EQ(chosen, 2);
+}
+
+TEST(Heft, BalancesChainsOfUnequalCount) {
+  // 3 independent chains on 2 devices: each chain sticks to one device
+  // (affinity) while chains land on different devices (load).
+  cudasim::scoped_platform sp(2, tdesc());
+  cudasim::platform& p = sp.get();
+  context ctx(p);
+  std::vector<std::vector<double>> host(3, std::vector<double>(1 << 16, 0.0));
+  std::vector<std::vector<int>> placements(3);
+  for (int c = 0; c < 3; ++c) {
+    auto ld = ctx.logical_data(host[static_cast<std::size_t>(c)].data(),
+                               host[static_cast<std::size_t>(c)].size(), "c");
+    for (int step = 0; step < 4; ++step) {
+      ctx.task(exec_place::automatic(), ld.rw())->*
+          [&placements, c](cudasim::stream& s, slice<double>) {
+            placements[static_cast<std::size_t>(c)].push_back(s.device());
+          };
+    }
+  }
+  ctx.finalize();
+  std::set<int> first_choices;
+  for (const auto& chain : placements) {
+    ASSERT_EQ(chain.size(), 4u);
+    for (int d : chain) {
+      EXPECT_EQ(d, chain[0]);  // whole chain stays put
+    }
+    first_choices.insert(chain[0]);
+  }
+  EXPECT_EQ(first_choices.size(), 2u);  // both devices used
+}
+
+TEST(Heft, AutomaticCholeskyStyleGraphIsCorrect) {
+  // A small dependent computation placed automatically must still satisfy
+  // all data dependencies (the MSI protocol moves data as needed).
+  cudasim::scoped_platform sp(3, tdesc());
+  cudasim::platform& p = sp.get();
+  context ctx(p);
+  double a[64], b[64], c[64];
+  for (int i = 0; i < 64; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+  auto la = ctx.logical_data(a, "a");
+  auto lb = ctx.logical_data(b, "b");
+  auto lc = ctx.logical_data(c, "c");
+  for (int rep = 0; rep < 6; ++rep) {
+    ctx.task(exec_place::automatic(), la.rw())->*
+        [&p](cudasim::stream& s, slice<double> v) {
+          p.launch_kernel(s, {.name = "inc"}, [=] {
+            for (std::size_t i = 0; i < v.size(); ++i) {
+              v(i) += 1.0;
+            }
+          });
+        };
+    ctx.task(exec_place::automatic(), la.read(), lb.read(), lc.rw())->*
+        [&p](cudasim::stream& s, slice<const double> x, slice<const double> y,
+             slice<double> z) {
+          p.launch_kernel(s, {.name = "fma"}, [=] {
+            for (std::size_t i = 0; i < z.size(); ++i) {
+              z(i) = x(i) * y(i);
+            }
+          });
+        };
+  }
+  ctx.finalize();
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  EXPECT_DOUBLE_EQ(c[0], 14.0);
+}
+
+TEST(Heft, StructuredConstructsRejectAutomatic) {
+  cudasim::scoped_platform sp(2, tdesc());
+  context ctx(sp.get());
+  std::vector<double> v(64, 0.0);
+  auto ld = ctx.logical_data(v.data(), v.size(), "v");
+  EXPECT_THROW(ctx.parallel_for(exec_place::automatic(), ld.get_shape(),
+                                ld.rw())->*[](std::size_t, slice<double>) {},
+               std::logic_error);
+  ctx.finalize();
+}
+
+TEST(Heft, FasterThanSingleDeviceForIndependentWork) {
+  auto run = [](bool automatic) {
+    cudasim::scoped_platform sp(4, cudasim::a100_desc());
+    cudasim::platform& p = sp.get();
+    context ctx(p);
+    ctx.set_compute_payloads(false);
+    std::vector<logical_data<slice<double>>> data;
+    for (int i = 0; i < 16; ++i) {
+      data.push_back(ctx.logical_data<double, 1>(box<1>(1 << 20), "v"));
+    }
+    for (auto& ld : data) {
+      auto where = automatic ? exec_place::automatic() : exec_place::device(0);
+      ctx.task(where, ld.write())->*[&p](cudasim::stream& s, slice<double>) {
+        p.launch_kernel(s, {.name = "work", .fixed_seconds = 1e-3}, {});
+      };
+    }
+    ctx.finalize();
+    return p.now();
+  };
+  EXPECT_LT(run(true), run(false) * 0.5);
+}
+
+}  // namespace

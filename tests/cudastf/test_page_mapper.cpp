@@ -1,0 +1,151 @@
+// Sampling-based page mapping (§VI-B, Fig. 7): correctness of partitioner
+// owner functions, optimality for page-aligned mappings, and accuracy of
+// 30-sample majority voting against the exhaustive owner.
+#include <gtest/gtest.h>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+using namespace cudastf;
+namespace vmm = cudasim::vmm;
+
+cudasim::device_desc big_desc() {
+  auto d = cudasim::test_desc();
+  d.mem_capacity = 4ull << 30;
+  return d;
+}
+
+TEST(Partitioners, CyclicOwnerMatchesAssign) {
+  cyclic_partitioner part;
+  const std::size_t n = 1000, count = 4;
+  for (std::size_t r = 0; r < count; ++r) {
+    auto span = part.assign(n, r, count);
+    for (std::size_t i = span.begin; i < span.end; i += span.stride) {
+      EXPECT_EQ(part.owner(n, i, count), r);
+    }
+  }
+}
+
+TEST(Partitioners, BlockedOwnerMatchesAssign) {
+  blocked_partitioner part;
+  for (std::size_t n : {1000ul, 7ul, 4097ul}) {
+    for (std::size_t count : {1ul, 3ul, 8ul}) {
+      for (std::size_t r = 0; r < count; ++r) {
+        auto span = part.assign(n, r, count);
+        for (std::size_t i = span.begin; i < span.end; ++i) {
+          EXPECT_EQ(part.owner(n, i, count), r) << n << " " << count;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioners, BlockedCoversExactly) {
+  blocked_partitioner part;
+  const std::size_t n = 1013, count = 7;
+  std::size_t covered = 0;
+  for (std::size_t r = 0; r < count; ++r) {
+    auto span = part.assign(n, r, count);
+    covered += span.end - span.begin;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(Partitioners, TiledOwnerRoundRobin) {
+  tiled_partitioner part(32);
+  EXPECT_EQ(part.owner(1000, 0, 2), 0u);
+  EXPECT_EQ(part.owner(1000, 31, 2), 0u);
+  EXPECT_EQ(part.owner(1000, 32, 2), 1u);
+  EXPECT_EQ(part.owner(1000, 64, 2), 0u);
+}
+
+TEST(PageMapper, PageAlignedMappingIsExact) {
+  // Fig. 7, n = 128 case: a mapping that falls exactly on page boundaries
+  // is mapped optimally by sampling (zero mismatches by construction).
+  cudasim::platform p(2, big_desc());
+  const std::size_t pages = 8;
+  const std::size_t n = pages * vmm::page_size / sizeof(int);
+  vmm::reservation r(p, n * sizeof(int));
+  // Tile = exactly one page of ints, round robin over 2 devices.
+  tiled_partitioner part(vmm::page_size / sizeof(int));
+  auto report = map_pages_by_sampling(r, n, sizeof(int), part, {0, 1}, 30,
+                                      /*seed=*/1, /*compute_mismatch=*/true);
+  EXPECT_EQ(report.pages, pages);
+  EXPECT_EQ(report.mismatched_pages, 0u);
+  for (std::size_t pg = 0; pg < pages; ++pg) {
+    EXPECT_EQ(r.page_owner(pg), static_cast<int>(pg % 2));
+  }
+}
+
+TEST(PageMapper, BlockedMappingBalancesBytes) {
+  cudasim::platform p(4, big_desc());
+  const std::size_t n = (64ull << 20) / sizeof(double);
+  vmm::reservation r(p, n * sizeof(double));
+  blocked_partitioner part;
+  map_pages_by_sampling(r, n, sizeof(double), part, {0, 1, 2, 3});
+  auto per = r.bytes_per_device();
+  const std::size_t total = 64ull << 20;
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(double(per[d]), double(total) / 4, double(2 * vmm::page_size))
+        << d;
+  }
+}
+
+TEST(PageMapper, SamplingMatchesExhaustiveAlmostAlways) {
+  // Fig. 7, n = 100-style misaligned case: tiles do not fit page
+  // boundaries. With 30 samples per 2 MB page the mismatch rate against
+  // the exhaustive owner must be small (the paper found 30 sufficient).
+  cudasim::platform p(4, big_desc());
+  const std::size_t rows = 1000, cols = 1000;  // ~7.6 MB of doubles
+  const std::size_t n = rows * cols;
+  vmm::reservation r(p, n * sizeof(double));
+  tiled_partitioner part(32 * cols);  // 32 lines per tile
+  auto report = map_pages_by_sampling(r, n, sizeof(double), part, {0, 1, 2, 3},
+                                      30, /*seed=*/42, /*compute_mismatch=*/true);
+  EXPECT_GT(report.pages, 0u);
+  // Mismatches can only happen on boundary pages; a loose bound is half.
+  EXPECT_LE(report.mismatched_pages, report.pages / 2);
+}
+
+TEST(PageMapper, ExhaustiveModeHasNoMismatch) {
+  cudasim::platform p(2, big_desc());
+  const std::size_t n = (8ull << 20) / sizeof(float);
+  vmm::reservation r(p, n * sizeof(float));
+  cyclic_partitioner part;
+  auto report = map_pages_by_sampling(r, n, sizeof(float), part, {0, 1},
+                                      /*samples=*/0, 1, true);
+  EXPECT_EQ(report.mismatched_pages, 0u);
+}
+
+TEST(PageMapper, CyclicMappingDegeneratesGracefully) {
+  // Cyclic element mapping cannot match pages at all; every page gets a
+  // plurality owner and the machine still works (performance-only effect).
+  cudasim::platform p(3, big_desc());
+  const std::size_t n = (6ull << 20) / sizeof(double);
+  vmm::reservation r(p, n * sizeof(double));
+  cyclic_partitioner part;
+  map_pages_by_sampling(r, n, sizeof(double), part, {0, 1, 2});
+  for (std::size_t pg = 0; pg < r.page_count(); ++pg) {
+    EXPECT_GE(r.page_owner(pg), 0);
+    EXPECT_LT(r.page_owner(pg), 3);
+  }
+}
+
+TEST(PageMapper, DeterministicForFixedSeed) {
+  cudasim::platform p(2, big_desc());
+  const std::size_t n = (16ull << 20) / sizeof(double);
+  std::vector<int> first, second;
+  for (int rep = 0; rep < 2; ++rep) {
+    vmm::reservation r(p, n * sizeof(double));
+    tiled_partitioner part(1000);
+    map_pages_by_sampling(r, n, sizeof(double), part, {0, 1}, 30, 7);
+    auto& out = rep == 0 ? first : second;
+    for (std::size_t pg = 0; pg < r.page_count(); ++pg) {
+      out.push_back(r.page_owner(pg));
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// parallel_for (§V, Fig. 4): 1D/2D shapes, dependency inference between
+// generated kernels, host execution, and transparent multi-device
+// dispatch over grids with composite data places (§VI).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+using namespace cudastf;
+
+cudasim::device_desc tdesc() {
+  auto d = cudasim::test_desc();
+  d.mem_capacity = 64u << 20;
+  return d;
+}
+
+TEST(ParallelFor, Figure4TwoInterdependentLoops) {
+  cudasim::scoped_platform sp(1, tdesc());
+  context ctx(sp.get());
+  constexpr std::size_t n = 64;
+  std::vector<double> A(n, 0.0);
+  std::vector<double> B(n * n, 0.0);
+  auto lA = ctx.logical_data(A.data(), n, "A");
+  auto lB = ctx.logical_data(B.data(), n, n, "B");
+
+  ctx.parallel_for(lA.get_shape(), lA.write())->*
+      [](std::size_t i, slice<double> a) { a(i) = double(i); };
+  ctx.parallel_for(lB.get_shape(), lA.read(), lB.write())->*
+      [](std::size_t i, std::size_t j, slice<const double> a, slice<double, 2> b) {
+        b(i, j) = a(i) * a(j);
+      };
+  ctx.finalize();
+  EXPECT_DOUBLE_EQ(B[3 * n + 5], 15.0);
+  EXPECT_DOUBLE_EQ(B[(n - 1) * n + (n - 1)], double((n - 1) * (n - 1)));
+}
+
+TEST(ParallelFor, GridExecutionMatchesSingleDevice) {
+  constexpr std::size_t n = 10000;
+  std::vector<double> single(n), multi(n);
+  auto run = [&](int ndev, std::vector<double>& out) {
+    cudasim::scoped_platform sp(ndev, tdesc());
+    context ctx(sp.get());
+    std::iota(out.begin(), out.end(), 0.0);
+    auto ld = ctx.logical_data(out.data(), n, "v");
+    auto where = ndev == 1 ? exec_place::device(0) : exec_place::all_devices();
+    ctx.parallel_for(where, ld.get_shape(), ld.rw())->*
+        [](std::size_t i, slice<double> v) { v(i) = 3.0 * v(i) + 1.0; };
+    ctx.finalize();
+  };
+  run(1, single);
+  run(4, multi);
+  EXPECT_EQ(single, multi);
+}
+
+TEST(ParallelFor, GridUsesCompositeInstance) {
+  cudasim::scoped_platform sp(4, tdesc());
+  context ctx(sp.get());
+  constexpr std::size_t n = 4096;
+  std::vector<double> v(n, 1.0);
+  auto ld = ctx.logical_data(v.data(), n, "v");
+  ctx.parallel_for(exec_place::all_devices(), ld.get_shape(), ld.rw())->*
+      [](std::size_t i, slice<double> x) { x(i) += 1.0; };
+  ctx.finalize();
+  // There must be exactly one non-host instance and it must be composite.
+  int composite = 0;
+  for (const auto& inst : ld.impl()->instances()) {
+    composite += inst->place.is_composite() ? 1 : 0;
+  }
+  EXPECT_EQ(composite, 1);
+  EXPECT_DOUBLE_EQ(v[n - 1], 2.0);
+}
+
+TEST(ParallelFor, CompositeCacheHitAcrossTasks) {
+  // Two grid tasks back to back reuse the same composite instance (§VI-C):
+  // no additional transfers between them.
+  cudasim::scoped_platform sp(2, tdesc());
+  context ctx(sp.get());
+  constexpr std::size_t n = 1024;
+  std::vector<double> v(n, 0.0);
+  auto ld = ctx.logical_data(v.data(), n, "v");
+  for (int rep = 0; rep < 3; ++rep) {
+    ctx.parallel_for(exec_place::all_devices(), ld.get_shape(), ld.rw())->*
+        [](std::size_t i, slice<double> x) { x(i) += 1.0; };
+  }
+  ctx.finalize();
+  EXPECT_EQ(ld.impl()->instance_count(), 2u);  // host + one composite
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(ParallelFor, MultiDeviceIsFasterInVirtualTime) {
+  constexpr std::size_t n = 1u << 22;
+  auto time_with = [&](int ndev) {
+    cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+    context ctx(sp.get());
+    ctx.set_compute_payloads(false);
+    auto ld = ctx.logical_data<double, 1>(box<1>(n), "v");
+    auto where = ndev == 1 ? exec_place::device(0) : exec_place::all_devices();
+    for (int it = 0; it < 4; ++it) {
+      ctx.parallel_for(where, box<1>(n),
+                       it == 0 ? ld.write() : ld.rw())->*
+          [](std::size_t, slice<double>) {};
+    }
+    ctx.finalize();
+    return sp.get().now();
+  };
+  const double t1 = time_with(1);
+  const double t4 = time_with(4);
+  EXPECT_LT(t4, t1 * 0.5);
+}
+
+TEST(ParallelFor, HostPlaceRunsOnHost) {
+  cudasim::scoped_platform sp(1, tdesc());
+  context ctx(sp.get());
+  std::vector<double> v(128, 2.0);
+  auto ld = ctx.logical_data(v.data(), v.size(), "v");
+  ctx.parallel_for(exec_place::host(), ld.get_shape(), ld.rw())->*
+      [](std::size_t i, slice<double> x) { x(i) *= 2.0; };
+  ctx.finalize();
+  EXPECT_DOUBLE_EQ(v[100], 4.0);
+}
+
+TEST(ParallelFor, DependenciesBetweenGridAndSingleDevice) {
+  // A grid write followed by a single-device read: the runtime must move
+  // data from the composite instance to the device instance.
+  cudasim::scoped_platform sp(2, tdesc());
+  cudasim::platform& p = sp.get();
+  context ctx(p);
+  constexpr std::size_t n = 512;
+  std::vector<double> v(n, 0.0);
+  double sum_out[1] = {0.0};
+  auto ld = ctx.logical_data(v.data(), n, "v");
+  auto lsum = ctx.logical_data(sum_out, "sum");
+  ctx.parallel_for(exec_place::all_devices(), ld.get_shape(), ld.write())->*
+      [](std::size_t i, slice<double> x) { x(i) = 1.0; };
+  ctx.task(exec_place::device(0), ld.read(), lsum.rw())->*
+      [&p](cudasim::stream& s, slice<const double> x, slice<double> sum) {
+        p.launch_kernel(s, {.name = "sum"}, [=] {
+          double acc = 0;
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            acc += x(i);
+          }
+          sum(0) = acc;
+        });
+      };
+  ctx.finalize();
+  EXPECT_DOUBLE_EQ(sum_out[0], double(n));
+}
+
+TEST(ParallelFor, GraphBackendParallelFor) {
+  cudasim::scoped_platform sp(2, tdesc());
+  context ctx = context::graph(sp.get());
+  std::vector<double> v(256, 1.0);
+  auto ld = ctx.logical_data(v.data(), v.size(), "v");
+  for (int it = 0; it < 3; ++it) {
+    ctx.parallel_for(ld.get_shape(), ld.rw())->*
+        [](std::size_t i, slice<double> x) { x(i) += 1.0; };
+    ctx.fence();
+  }
+  ctx.finalize();
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_GE(ctx.stats().graph_updates, 1u);
+}
+
+}  // namespace

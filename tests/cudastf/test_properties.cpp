@@ -1,0 +1,282 @@
+// Property-based sweeps (parameterized gtest):
+//  * random task DAGs with random access modes and placements produce
+//    results identical to a serial interpretation, on the stream backend,
+//    the graph backend, and any device count — the core STF soundness
+//    property;
+//  * partitioners cover every index exactly once for arbitrary sizes;
+//  * DES timing invariants hold on random graphs.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+using namespace cudastf;
+
+// ---------------------------------------------------------------------------
+// Random STF program equivalence.
+
+struct stf_case {
+  std::uint64_t seed;
+  int devices;
+  bool graph_backend;
+};
+
+void PrintTo(const stf_case& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_dev" << c.devices
+      << (c.graph_backend ? "_graph" : "_stream");
+}
+
+// One randomly generated "program": a list of tasks touching a handful of
+// small vectors with random modes. The serial interpreter applies the same
+// arithmetic directly.
+struct rand_op {
+  int target;              // written data
+  std::vector<int> reads;  // read data
+  double coeff;            // target = target * coeff + sum(reads)
+  int device;              // -1 = automatic
+  bool fence_after;
+};
+
+std::vector<rand_op> make_program(std::uint64_t seed, int n_data, int n_ops,
+                                  int devices) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n_data - 1);
+  std::uniform_real_distribution<double> coeff(0.5, 1.5);
+  std::uniform_int_distribution<int> dev(-1, devices - 1);
+  std::bernoulli_distribution fence(0.2);
+  std::vector<rand_op> ops;
+  for (int i = 0; i < n_ops; ++i) {
+    rand_op op;
+    op.target = pick(rng);
+    const int nreads = static_cast<int>(rng() % 3);
+    for (int r = 0; r < nreads; ++r) {
+      const int src = pick(rng);
+      if (src != op.target) {
+        op.reads.push_back(src);
+      }
+    }
+    op.coeff = coeff(rng);
+    op.device = dev(rng);
+    op.fence_after = fence(rng);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+constexpr std::size_t vec_len = 17;  // odd on purpose
+
+std::vector<std::vector<double>> serial_reference(
+    const std::vector<rand_op>& ops, int n_data) {
+  std::vector<std::vector<double>> data(
+      static_cast<std::size_t>(n_data),
+      std::vector<double>(vec_len, 1.0));
+  for (const auto& op : ops) {
+    auto& tgt = data[static_cast<std::size_t>(op.target)];
+    for (std::size_t k = 0; k < vec_len; ++k) {
+      double acc = tgt[k] * op.coeff;
+      for (int src : op.reads) {
+        acc += data[static_cast<std::size_t>(src)][k];
+      }
+      tgt[k] = acc;
+    }
+  }
+  return data;
+}
+
+class StfEquivalence : public ::testing::TestWithParam<stf_case> {};
+
+TEST_P(StfEquivalence, RandomProgramMatchesSerial) {
+  const stf_case param = GetParam();
+  constexpr int n_data = 6;
+  constexpr int n_ops = 40;
+  const auto ops = make_program(param.seed, n_data, n_ops, param.devices);
+  const auto expected = serial_reference(ops, n_data);
+
+  auto desc = cudasim::test_desc();
+  desc.mem_capacity = 64u << 20;
+  cudasim::scoped_platform sp(param.devices, desc);
+  cudasim::platform& plat = sp.get();
+  context ctx = param.graph_backend ? context::graph(plat) : context(plat);
+
+  std::vector<std::vector<double>> host(
+      n_data, std::vector<double>(vec_len, 1.0));
+  std::vector<logical_data<slice<double>>> lds;
+  for (int i = 0; i < n_data; ++i) {
+    lds.push_back(ctx.logical_data(host[static_cast<std::size_t>(i)].data(),
+                                   vec_len, "d"));
+  }
+
+  for (const auto& op : ops) {
+    const exec_place where = op.device < 0
+                                 ? exec_place::automatic()
+                                 : exec_place::device(op.device);
+    auto& tgt = lds[static_cast<std::size_t>(op.target)];
+    const double coeff = op.coeff;
+    auto kernel = [&plat, coeff](cudasim::stream& s, slice<double> t,
+                                 auto... srcs) {
+      plat.launch_kernel(s, {.name = "op"}, [=] {
+        for (std::size_t k = 0; k < t.size(); ++k) {
+          double acc = t(k) * coeff;
+          ((acc += srcs(k)), ...);
+          t(k) = acc;
+        }
+      });
+    };
+    switch (op.reads.size()) {
+      case 0:
+        ctx.task(where, tgt.rw())->*kernel;
+        break;
+      case 1:
+        ctx.task(where, tgt.rw(), lds[static_cast<std::size_t>(op.reads[0])].read())
+                ->*kernel;
+        break;
+      default:
+        ctx.task(where, tgt.rw(),
+                 lds[static_cast<std::size_t>(op.reads[0])].read(),
+                 lds[static_cast<std::size_t>(op.reads[1])].read())->*kernel;
+        break;
+    }
+    if (op.fence_after) {
+      ctx.fence();
+    }
+  }
+  ctx.finalize();
+
+  for (int i = 0; i < n_data; ++i) {
+    for (std::size_t k = 0; k < vec_len; ++k) {
+      ASSERT_DOUBLE_EQ(host[static_cast<std::size_t>(i)][k],
+                       expected[static_cast<std::size_t>(i)][k])
+          << "data " << i << " elem " << k;
+    }
+  }
+}
+
+std::vector<stf_case> equivalence_cases() {
+  std::vector<stf_case> cases;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    for (int devices : {1, 2, 4}) {
+      for (bool graph : {false, true}) {
+        cases.push_back({seed, devices, graph});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StfEquivalence,
+                         ::testing::ValuesIn(equivalence_cases()));
+
+// ---------------------------------------------------------------------------
+// Partitioner coverage properties.
+
+struct part_case {
+  std::size_t n;
+  std::size_t count;
+};
+
+class PartitionCoverage : public ::testing::TestWithParam<part_case> {};
+
+TEST_P(PartitionCoverage, CyclicAndBlockedCoverDisjointly) {
+  const auto [n, count] = GetParam();
+  for (const partitioner* p :
+       {static_cast<const partitioner*>(new cyclic_partitioner()),
+        static_cast<const partitioner*>(new blocked_partitioner())}) {
+    std::vector<int> hits(n, 0);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto span = p->assign(n, r, count);
+      for (std::size_t i = span.begin; i < span.end; i += span.stride) {
+        ASSERT_LT(i, n);
+        ++hits[i];
+        EXPECT_EQ(p->owner(n, i, count), r);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i], 1) << i;
+    }
+    delete p;
+  }
+}
+
+TEST_P(PartitionCoverage, TiledOwnerIsTotalAndStable) {
+  const auto [n, count] = GetParam();
+  tiled_partitioner part(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t o = part.owner(n, i, count);
+    EXPECT_LT(o, count);
+    EXPECT_EQ(o, part.owner(n, i, count));  // deterministic
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionCoverage,
+    ::testing::Values(part_case{1, 1}, part_case{7, 3}, part_case{64, 8},
+                      part_case{1000, 7}, part_case{1024, 16},
+                      part_case{999, 1000}));
+
+// ---------------------------------------------------------------------------
+// DES timing invariants on random graphs.
+
+class DesInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesInvariants, RandomDagRespectsDepsAndEngines) {
+  std::mt19937_64 rng(GetParam());
+  cudasim::timeline tl;
+  std::vector<cudasim::engine> engines;
+  engines.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    engines.emplace_back(cudasim::engine_kind::compute);
+  }
+  std::vector<cudasim::op_node*> nodes;
+  std::vector<std::vector<std::size_t>> preds;
+  for (int i = 0; i < 200; ++i) {
+    auto& eng = engines[rng() % engines.size()];
+    const double dur = 1e-6 * static_cast<double>(rng() % 100 + 1);
+    cudasim::op_node* n = tl.make_node("n", 0, &eng, dur);
+    std::vector<std::size_t> my_preds;
+    if (!nodes.empty()) {
+      for (int d = 0; d < 2; ++d) {
+        if (rng() % 2 == 0) {
+          const std::size_t j = rng() % nodes.size();
+          cudasim::timeline::add_dep(nodes[j], n);
+          my_preds.push_back(j);
+        }
+      }
+    }
+    nodes.push_back(n);
+    preds.push_back(std::move(my_preds));
+  }
+  for (auto* n : nodes) {
+    tl.submit(n);
+  }
+  tl.drain();
+  // Dependency invariant: no node starts before its predecessors end.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_TRUE(nodes[i]->done);
+    EXPECT_GE(nodes[i]->t_end, nodes[i]->t_start);
+    for (std::size_t j : preds[i]) {
+      EXPECT_GE(nodes[i]->t_start, nodes[j]->t_end - 1e-15);
+    }
+  }
+  // Engine exclusivity: per engine, sorted intervals must not overlap.
+  for (auto& eng : engines) {
+    std::vector<std::pair<double, double>> spans;
+    for (auto* n : nodes) {
+      if (n->eng == &eng) {
+        spans.emplace_back(n->t_start, n->t_end);
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DesInvariants,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace

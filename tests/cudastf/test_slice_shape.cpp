@@ -1,0 +1,159 @@
+// slice<T,R> and shape primitives: indexing, strides, views, iteration,
+// coordinate mappings, sub-shapes — plus the taskbench generators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cudastf/shape.hpp"
+#include "cudastf/slice.hpp"
+#include "taskbench/taskbench.hpp"
+
+namespace {
+
+using namespace cudastf;
+
+TEST(Slice, Rank1Basics) {
+  std::vector<double> v(10);
+  std::iota(v.begin(), v.end(), 0.0);
+  slice<double> s(v.data(), 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.size_bytes(), 80u);
+  EXPECT_DOUBLE_EQ(s(3), 3.0);
+  s(3) = 42.0;
+  EXPECT_DOUBLE_EQ(v[3], 42.0);
+}
+
+TEST(Slice, Rank2RowMajor) {
+  std::vector<int> v(12);
+  std::iota(v.begin(), v.end(), 0);
+  slice<int, 2> s(v.data(), 3, 4);
+  EXPECT_EQ(s.extent(0), 3u);
+  EXPECT_EQ(s.extent(1), 4u);
+  EXPECT_EQ(s.stride(0), 4u);
+  EXPECT_EQ(s.stride(1), 1u);
+  EXPECT_EQ(s(1, 2), 6);
+  EXPECT_EQ(s(2, 3), 11);
+}
+
+TEST(Slice, Rank3And4) {
+  std::vector<float> v(2 * 3 * 4 * 5, 0.f);
+  slice<float, 4> s4(v.data(), 2, 3, 4, 5);
+  EXPECT_EQ(s4.size(), 120u);
+  s4(1, 2, 3, 4) = 9.f;
+  EXPECT_EQ(v[1 * 60 + 2 * 20 + 3 * 5 + 4], 9.f);
+  slice<float, 3> s3(v.data(), 3, 4, 5);
+  EXPECT_EQ(s3.stride(0), 20u);
+}
+
+TEST(Slice, ConstConversion) {
+  double v[4] = {1, 2, 3, 4};
+  slice<double> s(v, 4);
+  slice<const double> cs = s;  // implicit
+  EXPECT_DOUBLE_EQ(cs(1), 2.0);
+}
+
+#ifdef CUDASTF_BOUNDS_CHECK
+TEST(Slice, BoundsCheckThrows) {
+  double v[4] = {};
+  slice<double> s(v, 4);
+  EXPECT_THROW(s(4), std::out_of_range);
+}
+#endif
+
+TEST(Box, CoordMappingsInvert) {
+  box<3> b(3, 5, 7);
+  EXPECT_EQ(b.size(), 105u);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.coords_to_index(b.index_to_coords(i)), i);
+  }
+}
+
+TEST(Box, IterationVisitsRowMajor) {
+  box<2> b(2, 3);
+  std::vector<std::array<std::size_t, 2>> seen;
+  for (auto c : b) {
+    seen.push_back(c);
+  }
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen[0], (std::array<std::size_t, 2>{0, 0}));
+  EXPECT_EQ(seen[1], (std::array<std::size_t, 2>{0, 1}));
+  EXPECT_EQ(seen[3], (std::array<std::size_t, 2>{1, 0}));
+  EXPECT_EQ(seen[5], (std::array<std::size_t, 2>{1, 2}));
+}
+
+TEST(SubShape, StridedIterationAndSize) {
+  box<1> b(10);
+  sub_shape<1> cyc(b, 1, 10, 3);  // 1, 4, 7
+  EXPECT_EQ(cyc.size(), 3u);
+  std::vector<std::size_t> got;
+  for (auto [i] : cyc) {
+    got.push_back(i);
+  }
+  EXPECT_EQ(got, (std::vector<std::size_t>{1, 4, 7}));
+}
+
+TEST(SubShape, EmptyAndDegenerate) {
+  box<1> b(10);
+  EXPECT_EQ((sub_shape<1>(b, 5, 5, 1).size()), 0u);
+  EXPECT_EQ((sub_shape<1>(b, 7, 3, 1).size()), 0u);  // end < begin clamps
+  EXPECT_EQ((sub_shape<1>(b, 0, 1, 1).size()), 1u);
+}
+
+TEST(ShapeOfSlice, MatchesExtents) {
+  double v[12];
+  slice<double, 2> s(v, 3, 4);
+  auto b = shape(s);
+  EXPECT_EQ(b.extent(0), 3u);
+  EXPECT_EQ(b.extent(1), 4u);
+}
+
+// --- taskbench generators ---
+
+TEST(TaskBench, GridSizesAndNames) {
+  for (auto topo : taskbench::all_topologies()) {
+    auto tasks = taskbench::generate(topo, 8, 10, 3);
+    EXPECT_EQ(tasks.size(), 80u) << taskbench::name(topo);
+    for (const auto& t : tasks) {
+      EXPECT_LT(t.column, 8u);
+      for (auto d : t.deps) {
+        EXPECT_LT(d, 8u);
+      }
+      if (t.step == 0) {
+        EXPECT_TRUE(t.deps.empty());
+      }
+    }
+  }
+}
+
+TEST(TaskBench, TrivialHasNoDeps) {
+  auto tasks = taskbench::generate(taskbench::topology::trivial, 16, 16);
+  EXPECT_DOUBLE_EQ(taskbench::average_deps(tasks), 0.0);
+}
+
+TEST(TaskBench, StencilHasHighestAverage) {
+  const std::uint32_t w = 32, s = 32;
+  double stencil = taskbench::average_deps(
+      taskbench::generate(taskbench::topology::stencil, w, s));
+  for (auto topo : {taskbench::topology::trivial, taskbench::topology::tree,
+                    taskbench::topology::sweep}) {
+    EXPECT_GT(stencil,
+              taskbench::average_deps(taskbench::generate(topo, w, s)));
+  }
+}
+
+TEST(TaskBench, RandomIsSeedDeterministic) {
+  auto a = taskbench::generate(taskbench::topology::random_graph, 16, 8, 7);
+  auto b = taskbench::generate(taskbench::topology::random_graph, 16, 8, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].deps, b[i].deps);
+  }
+}
+
+TEST(TaskBench, EmptyGridThrows) {
+  EXPECT_THROW(taskbench::generate(taskbench::topology::fft, 0, 5),
+               std::invalid_argument);
+}
+
+}  // namespace

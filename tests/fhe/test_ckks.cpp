@@ -1,0 +1,224 @@
+// CKKS host implementation: modular arithmetic, NTT round trips and
+// convolution, encoder, encryption round trips, homomorphic add/multiply,
+// relinearization and rescale accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "fhe/ckks.hpp"
+
+namespace {
+
+using namespace fhe;
+
+TEST(ModMath, Basics) {
+  EXPECT_EQ(addmod(5, 7, 11), 1u);
+  EXPECT_EQ(submod(3, 7, 11), 7u);
+  EXPECT_EQ(mulmod(1ull << 40, 1ull << 40, (1ull << 61) - 1), powmod(2, 80, (1ull << 61) - 1));
+  EXPECT_EQ(powmod(3, 0, 97), 1u);
+  const u64 p = 0xFFFFFFFF00000001ull;  // Goldilocks prime
+  EXPECT_TRUE(is_prime_u64(p));
+  EXPECT_EQ(mulmod(invmod(12345, p), 12345, p), 1u);
+}
+
+TEST(ModMath, PrimeGeneration) {
+  auto primes = make_moduli(4, 40, 1024);
+  EXPECT_EQ(primes.size(), 4u);
+  for (u64 q : primes) {
+    EXPECT_TRUE(is_prime_u64(q));
+    EXPECT_EQ(q % 2048, 1u);
+    EXPECT_LT(q, 1ull << 41);
+    EXPECT_GT(q, 1ull << 38);
+  }
+  // Distinct.
+  EXPECT_NE(primes[0], primes[1]);
+}
+
+TEST(ModMath, PrimitiveRoot) {
+  auto primes = make_moduli(1, 40, 256);
+  const u64 root = primitive_2nth_root(primes[0], 256);
+  EXPECT_EQ(powmod(root, 512, primes[0]), 1u);
+  EXPECT_EQ(powmod(root, 256, primes[0]), primes[0] - 1);
+}
+
+TEST(Ntt, ForwardInverseRoundTrip) {
+  auto primes = make_moduli(1, 40, 64);
+  ntt_table t(primes[0], 64);
+  std::vector<u64> a(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = i * 977 + 3;
+  }
+  auto b = a;
+  t.forward(b.data());
+  EXPECT_NE(a, b);
+  t.inverse(b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ntt, NegacyclicConvolution) {
+  // (1 + X) * (1 + X) = 1 + 2X + X^2 in Z[X]/(X^4+1).
+  auto primes = make_moduli(1, 40, 4);
+  ntt_table t(primes[0], 4);
+  std::vector<u64> a{1, 1, 0, 0}, b{1, 1, 0, 0}, out(4);
+  t.multiply(a.data(), b.data(), out.data());
+  EXPECT_EQ(out, (std::vector<u64>{1, 2, 1, 0}));
+}
+
+TEST(Ntt, NegacyclicWrapIsNegated) {
+  // X^3 * X = X^4 = -1 in Z[X]/(X^4+1).
+  auto primes = make_moduli(1, 40, 4);
+  const u64 q = primes[0];
+  ntt_table t(q, 4);
+  std::vector<u64> a{0, 0, 0, 1}, b{0, 1, 0, 0}, out(4);
+  t.multiply(a.data(), b.data(), out.data());
+  EXPECT_EQ(out, (std::vector<u64>{q - 1, 0, 0, 0}));
+}
+
+class CkksTest : public ::testing::Test {
+ protected:
+  CkksTest()
+      : params(ckks_params::make(256, 3, 50, 40)),
+        ctx(params, /*seed=*/42),
+        sk(ctx.make_secret_key()),
+        pk(ctx.make_public_key(sk)) {}
+
+  ckks_params params;
+  ckks_context ctx;
+  secret_key sk;
+  public_key pk;
+};
+
+TEST_F(CkksTest, EncodeDecodeRoundTrip) {
+  std::vector<std::complex<double>> z(params.slots());
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    z[j] = {std::sin(0.1 * double(j)), std::cos(0.3 * double(j))};
+  }
+  auto p = ctx.encode(z, 2);
+  auto back = ctx.decode(p);
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    EXPECT_NEAR(back[j].real(), z[j].real(), 1e-7) << j;
+    EXPECT_NEAR(back[j].imag(), z[j].imag(), 1e-7) << j;
+  }
+}
+
+TEST_F(CkksTest, ScalarEncodeFillsAllSlots) {
+  auto p = ctx.encode_scalar(2.5, 1);
+  auto back = ctx.decode(p);
+  for (std::size_t j = 0; j < params.slots(); ++j) {
+    EXPECT_NEAR(back[j].real(), 2.5, 1e-9);
+    EXPECT_NEAR(back[j].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST_F(CkksTest, EncryptDecryptRoundTrip) {
+  std::vector<double> z(params.slots());
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    z[j] = 0.5 * double(j % 10) - 2.0;
+  }
+  auto ct = ctx.encrypt(ctx.encode_real(z, 2), pk);
+  auto back = ctx.decrypt_decode(ct, sk);
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    EXPECT_NEAR(back[j].real(), z[j], 1e-4) << j;
+  }
+}
+
+TEST_F(CkksTest, SymmetricEncryption) {
+  auto ct = ctx.encrypt_symmetric(ctx.encode_scalar(7.25, 2), sk);
+  auto back = ctx.decrypt_decode(ct, sk);
+  EXPECT_NEAR(back[0].real(), 7.25, 1e-4);
+}
+
+TEST_F(CkksTest, HomomorphicAdd) {
+  auto ca = ctx.encrypt(ctx.encode_scalar(1.5, 2), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(2.25, 2), pk);
+  auto sum = ctx.add(ca, cb);
+  EXPECT_NEAR(ctx.decrypt_decode(sum, sk)[0].real(), 3.75, 1e-3);
+}
+
+TEST_F(CkksTest, HomomorphicMultiplyWithoutRelin) {
+  // Size-3 ciphertexts decrypt via s^2 — no relinearization needed.
+  auto ca = ctx.encrypt(ctx.encode_scalar(3.0, 3), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(-2.0, 3), pk);
+  auto prod = ctx.multiply(ca, cb);
+  EXPECT_EQ(prod.size(), 3u);
+  ctx.rescale_inplace(prod);
+  auto back = ctx.decrypt_decode(prod, sk);
+  EXPECT_NEAR(back[0].real(), -6.0, 1e-2);
+}
+
+TEST_F(CkksTest, RelinearizeThenDecrypt) {
+  auto rk = ctx.make_relin_key(sk, 3);
+  auto ca = ctx.encrypt(ctx.encode_scalar(1.5, 3), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(4.0, 3), pk);
+  auto prod = ctx.multiply(ca, cb);
+  ctx.relinearize_inplace(prod, rk);
+  EXPECT_EQ(prod.size(), 2u);
+  ctx.rescale_inplace(prod);
+  auto back = ctx.decrypt_decode(prod, sk);
+  EXPECT_NEAR(back[0].real(), 6.0, 1e-2);
+}
+
+TEST_F(CkksTest, SlotwiseMultiply) {
+  std::vector<double> a(params.slots()), b(params.slots());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    a[j] = 0.1 * double(j % 7);
+    b[j] = 1.0 - 0.05 * double(j % 11);
+  }
+  auto ca = ctx.encrypt(ctx.encode_real(a, 3), pk);
+  auto cb = ctx.encrypt(ctx.encode_real(b, 3), pk);
+  auto prod = ctx.multiply(ca, cb);
+  ctx.rescale_inplace(prod);
+  auto back = ctx.decrypt_decode(prod, sk);
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_NEAR(back[j].real(), a[j] * b[j], 1e-2) << j;
+  }
+}
+
+TEST_F(CkksTest, MultiplyPlain) {
+  auto ca = ctx.encrypt(ctx.encode_scalar(2.0, 2), pk);
+  auto p = ctx.encode_scalar(0.5, 2);
+  auto prod = ctx.multiply_plain(ca, p);
+  ctx.rescale_inplace(prod);
+  EXPECT_NEAR(ctx.decrypt_decode(prod, sk)[0].real(), 1.0, 1e-2);
+}
+
+TEST_F(CkksTest, EncryptedDotProductHost) {
+  // The §VII-E workload in miniature: dot of two encrypted vectors, one
+  // scalar ciphertext per element, accumulating unrelinearized products.
+  const std::vector<double> xs{1.0, -2.0, 0.5, 3.0};
+  const std::vector<double> ys{2.0, 0.25, -4.0, 1.5};
+  ciphertext acc;
+  bool first = true;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto cx = ctx.encrypt(ctx.encode_scalar(xs[i], 3), pk);
+    auto cy = ctx.encrypt(ctx.encode_scalar(ys[i], 3), pk);
+    auto prod = ctx.multiply(cx, cy);
+    acc = first ? prod : ctx.add(acc, prod);
+    first = false;
+  }
+  ctx.rescale_inplace(acc);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expected += xs[i] * ys[i];
+  }
+  EXPECT_NEAR(ctx.decrypt_decode(acc, sk)[0].real(), expected, 5e-2);
+}
+
+TEST_F(CkksTest, RescaleAdjustsScale) {
+  auto ca = ctx.encrypt(ctx.encode_scalar(1.0, 3), pk);
+  auto prod = ctx.multiply(ca, ca);
+  const double before = prod.scale;
+  ctx.rescale_inplace(prod);
+  EXPECT_LT(prod.scale, before);
+  EXPECT_EQ(prod.limbs(), 2u);
+}
+
+TEST_F(CkksTest, LevelMismatchThrows) {
+  auto ca = ctx.encrypt(ctx.encode_scalar(1.0, 3), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(1.0, 2), pk);
+  EXPECT_THROW(ctx.add(ca, cb), std::invalid_argument);
+  EXPECT_THROW(ctx.multiply(ca, cb), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Parameterized sweeps over the FHE substrate: NTT round trips and
+// convolutions across (degree, modulus size); CKKS end-to-end across
+// (degree, limb count); encoder linearity/conjugate-symmetry properties.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+#include "fhe/ckks.hpp"
+
+namespace {
+
+using namespace fhe;
+
+// ---------------------------------------------------------------------------
+// NTT sweep.
+
+struct ntt_case {
+  std::size_t degree;
+  unsigned bits;
+};
+
+class NttSweep : public ::testing::TestWithParam<ntt_case> {};
+
+TEST_P(NttSweep, RoundTripAndConvolutionMatchNaive) {
+  const auto [degree, bits] = GetParam();
+  const u64 q = make_moduli(1, bits, degree)[0];
+  ntt_table t(q, degree);
+  std::mt19937_64 rng(degree * bits);
+  std::uniform_int_distribution<u64> dist(0, q - 1);
+
+  std::vector<u64> a(degree), b(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+  // Round trip.
+  auto rt = a;
+  t.forward(rt.data());
+  t.inverse(rt.data());
+  ASSERT_EQ(rt, a);
+
+  // Negacyclic convolution vs naive O(n^2).
+  std::vector<u64> naive(degree, 0);
+  for (std::size_t i = 0; i < degree; ++i) {
+    for (std::size_t j = 0; j < degree; ++j) {
+      const u64 prod = mulmod(a[i], b[j], q);
+      const std::size_t k = i + j;
+      if (k < degree) {
+        naive[k] = addmod(naive[k], prod, q);
+      } else {
+        naive[k - degree] = submod(naive[k - degree], prod, q);  // X^n = -1
+      }
+    }
+  }
+  std::vector<u64> fast(degree);
+  t.multiply(a.data(), b.data(), fast.data());
+  EXPECT_EQ(fast, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NttSweep,
+                         ::testing::Values(ntt_case{8, 30}, ntt_case{16, 40},
+                                           ntt_case{64, 40}, ntt_case{128, 50},
+                                           ntt_case{256, 55}, ntt_case{512, 40}));
+
+// ---------------------------------------------------------------------------
+// CKKS end-to-end sweep over (degree, limbs).
+
+struct ckks_case {
+  std::size_t degree;
+  std::size_t limbs;
+};
+
+class CkksSweep : public ::testing::TestWithParam<ckks_case> {};
+
+TEST_P(CkksSweep, EncryptMultiplyRescaleDecrypt) {
+  const auto [degree, limbs] = GetParam();
+  ckks_context ctx(ckks_params::make(degree, limbs, 50, 40),
+                   degree * 31 + limbs);
+  auto sk = ctx.make_secret_key();
+  auto pk = ctx.make_public_key(sk);
+
+  auto ca = ctx.encrypt(ctx.encode_scalar(1.25, limbs), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(-2.0, limbs), pk);
+  // Depth-1 product (needs at least 2 limbs to rescale).
+  auto prod = ctx.multiply(ca, cb);
+  if (limbs >= 2) {
+    ctx.rescale_inplace(prod);
+  }
+  auto back = ctx.decrypt_decode(prod, sk);
+  EXPECT_NEAR(back[0].real(), -2.5, 2e-2);
+
+  // Additions keep working at any level.
+  auto sum = ctx.add(prod, prod);
+  EXPECT_NEAR(ctx.decrypt_decode(sum, sk)[0].real(), -5.0, 4e-2);
+}
+
+TEST_P(CkksSweep, RelinKeepsResult) {
+  const auto [degree, limbs] = GetParam();
+  if (limbs < 2) {
+    GTEST_SKIP() << "relinearization needs a rescalable chain";
+  }
+  ckks_context ctx(ckks_params::make(degree, limbs, 50, 40), degree + limbs);
+  auto sk = ctx.make_secret_key();
+  auto pk = ctx.make_public_key(sk);
+  auto rk = ctx.make_relin_key(sk, limbs);
+  auto ca = ctx.encrypt(ctx.encode_scalar(3.0, limbs), pk);
+  auto cb = ctx.encrypt(ctx.encode_scalar(0.5, limbs), pk);
+  auto prod = ctx.multiply(ca, cb);
+  ctx.relinearize_inplace(prod, rk);
+  ASSERT_EQ(prod.size(), 2u);
+  ctx.rescale_inplace(prod);
+  EXPECT_NEAR(ctx.decrypt_decode(prod, sk)[0].real(), 1.5, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CkksSweep,
+                         ::testing::Values(ckks_case{64, 2}, ckks_case{128, 3},
+                                           ckks_case{256, 2}, ckks_case{256, 4},
+                                           ckks_case{512, 3}, ckks_case{1024, 3}));
+
+// ---------------------------------------------------------------------------
+// Encoder properties.
+
+TEST(EncoderProps, Linearity) {
+  ckks_context ctx(ckks_params::make(128, 2, 50, 40), 5);
+  std::vector<std::complex<double>> a(ctx.params().slots()),
+      b(ctx.params().slots());
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(-1, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {d(rng), d(rng)};
+    b[i] = {d(rng), d(rng)};
+  }
+  auto pa = ctx.encode(a, 2);
+  auto pb = ctx.encode(b, 2);
+  // encode(a) + encode(b) decodes to a + b (additive homomorphism of the
+  // embedding, exact up to rounding).
+  plaintext sum;
+  sum.scale = pa.scale;
+  sum.poly = rns_poly(ctx.params().n, 2);
+  for (std::size_t l = 0; l < 2; ++l) {
+    const u64 q = ctx.params().moduli[l];
+    for (std::size_t k = 0; k < ctx.params().n; ++k) {
+      sum.poly.limb(l)[k] = addmod(pa.poly.limb(l)[k], pb.poly.limb(l)[k], q);
+    }
+  }
+  auto out = ctx.decode(sum);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(out[i].real(), a[i].real() + b[i].real(), 1e-6);
+    EXPECT_NEAR(out[i].imag(), a[i].imag() + b[i].imag(), 1e-6);
+  }
+}
+
+TEST(EncoderProps, PartialVectorPadsWithZeros) {
+  ckks_context ctx(ckks_params::make(128, 2, 50, 40), 6);
+  auto p = ctx.encode_real({1.0, 2.0, 3.0}, 2);
+  auto out = ctx.decode(p);
+  EXPECT_NEAR(out[0].real(), 1.0, 1e-7);
+  EXPECT_NEAR(out[2].real(), 3.0, 1e-7);
+  for (std::size_t j = 3; j < out.size(); ++j) {
+    EXPECT_NEAR(out[j].real(), 0.0, 1e-7);
+    EXPECT_NEAR(out[j].imag(), 0.0, 1e-7);
+  }
+}
+
+TEST(EncoderProps, TooManyValuesThrows) {
+  ckks_context ctx(ckks_params::make(64, 2, 50, 40), 6);
+  std::vector<double> too_many(ctx.params().slots() + 1, 1.0);
+  EXPECT_THROW(ctx.encode_real(too_many, 2), std::invalid_argument);
+}
+
+TEST(ModMathProps, InverseRoundTripSweep) {
+  for (unsigned bits : {30u, 40u, 50u, 58u}) {
+    const u64 q = make_moduli(1, bits, 64)[0];
+    std::mt19937_64 rng(bits);
+    for (int i = 0; i < 50; ++i) {
+      const u64 a = rng() % (q - 1) + 1;
+      EXPECT_EQ(mulmod(a, invmod(a, q), q), 1u) << q << " " << a;
+    }
+  }
+}
+
+}  // namespace

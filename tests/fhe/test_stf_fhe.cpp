@@ -1,0 +1,174 @@
+// Multi-GPU CKKS over CUDASTF (§VII-E): exact agreement with the host
+// evaluator, multi-device correctness, task counts, scaling shape, and the
+// SEAL-like façade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fhe/seal_like.hpp"
+#include "fhe/stf_evaluator.hpp"
+
+namespace {
+
+using namespace fhe;
+
+cudasim::device_desc tdesc() {
+  auto d = cudasim::test_desc();
+  d.mem_capacity = 1ull << 30;
+  return d;
+}
+
+double host_dot(ckks_context& host, const secret_key& sk,
+                const std::vector<double>& xs, const std::vector<double>& ys,
+                public_key& pk, std::size_t level) {
+  ciphertext acc;
+  bool first = true;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto cx = host.encrypt(host.encode_scalar(xs[i], level), pk);
+    auto cy = host.encrypt(host.encode_scalar(ys[i], level), pk);
+    auto prod = host.multiply(cx, cy);
+    acc = first ? prod : host.add(acc, prod);
+    first = false;
+  }
+  host.rescale_inplace(acc);
+  return host.decrypt_decode(acc, sk)[0].real();
+}
+
+TEST(StfFhe, DotProductMatchesHostEvaluator) {
+  ckks_context host(ckks_params::make(256, 3, 50, 40), 7);
+  auto sk = host.make_secret_key();
+  auto pk = host.make_public_key(sk);
+  const std::vector<double> xs{1.0, -2.0, 0.5, 3.0, 1.25};
+  const std::vector<double> ys{2.0, 0.25, -4.0, 1.5, -0.5};
+  double expected = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expected += xs[i] * ys[i];
+  }
+
+  cudasim::scoped_platform sp(2, tdesc());
+  cudastf::context ctx(sp.get());
+  stf_evaluator eval(ctx, host, /*compute=*/true);
+
+  std::vector<ciphertext> cxs, cys;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cxs.push_back(host.encrypt(host.encode_scalar(xs[i], 3), pk));
+    cys.push_back(host.encrypt(host.encode_scalar(ys[i], 3), pk));
+  }
+  gpu_ciphertext acc = eval.dot_product(cxs, cys, xs.size(), 3);
+  ciphertext result;
+  eval.download(acc, result);
+  ctx.finalize();
+
+  const double got = host.decrypt_decode(result, sk)[0].real();
+  EXPECT_NEAR(got, expected, 5e-2);
+}
+
+TEST(StfFhe, FourDevicesSameResultAsOne) {
+  ckks_context host(ckks_params::make(256, 4, 50, 40), 9);
+  auto sk = host.make_secret_key();
+  auto pk = host.make_public_key(sk);
+  const std::vector<double> xs{0.5, 1.5, -1.0};
+  const std::vector<double> ys{2.0, -1.0, 3.0};
+
+  auto run_on = [&](int ndev) {
+    cudasim::scoped_platform sp(ndev, tdesc());
+    cudastf::context ctx(sp.get());
+    stf_evaluator eval(ctx, host, true);
+    std::vector<ciphertext> cxs, cys;
+    // Deterministic context RNG: regenerate identical ciphertexts by
+    // rebuilding the host context per run.
+    ckks_context h2(ckks_params::make(256, 4, 50, 40), 9);
+    auto sk2 = h2.make_secret_key();
+    auto pk2 = h2.make_public_key(sk2);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      cxs.push_back(h2.encrypt(h2.encode_scalar(xs[i], 4), pk2));
+      cys.push_back(h2.encrypt(h2.encode_scalar(ys[i], 4), pk2));
+    }
+    gpu_ciphertext acc = eval.dot_product(cxs, cys, xs.size(), 4);
+    ciphertext result;
+    eval.download(acc, result);
+    ctx.finalize();
+    return h2.decrypt_decode(result, sk2)[0].real();
+  };
+  const double r1 = run_on(1);
+  const double r4 = run_on(4);
+  EXPECT_DOUBLE_EQ(r1, r4);
+  EXPECT_NEAR(r1, 0.5 * 2.0 - 1.5 - 3.0, 5e-2);
+}
+
+TEST(StfFhe, TaskCountScalesWithElementsAndLimbs) {
+  ckks_context host(ckks_params::make(256, 4, 50, 40), 3);
+  cudasim::scoped_platform sp(2, tdesc());
+  cudastf::context ctx(sp.get());
+  stf_evaluator eval(ctx, host, /*compute=*/false);
+  std::vector<ciphertext> none;
+  eval.dot_product(none, none, 16, 4);
+  ctx.finalize();
+  // zero-init (3*4) + per element (2 synth * 2 * 4 + 3*4 muls) + rescale.
+  const std::size_t expected =
+      3 * 4 + 16 * (2 * 2 * 4 + 3 * 4) + 3 * (1 + 3);
+  EXPECT_EQ(eval.tasks_submitted(), expected);
+}
+
+TEST(StfFhe, VirtualTimeScalesAcrossDevices) {
+  // Fig. 11 shape: more devices -> shorter encrypted dot product.
+  auto run_time = [&](int ndev) {
+    ckks_context host(ckks_params::make(8192, 8, 50, 40), 3);
+    cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    cudastf::context ctx(sp.get());
+    stf_evaluator eval(ctx, host, false);
+    std::vector<ciphertext> none;
+    eval.dot_product(none, none, 64, 8);
+    ctx.finalize();
+    return sp.get().now();
+  };
+  const double t1 = run_time(1);
+  const double t4 = run_time(4);
+  EXPECT_GT(t1 / t4, 2.0);
+}
+
+TEST(StfFhe, DanglingDestructionReturnsMemory) {
+  ckks_context host(ckks_params::make(512, 3, 50, 40), 5);
+  cudasim::scoped_platform sp(2, tdesc());
+  {
+    cudastf::context ctx(sp.get());
+    stf_evaluator eval(ctx, host, false);
+    std::vector<ciphertext> none;
+    eval.dot_product(none, none, 32, 3);  // many temporaries die mid-flight
+    ctx.finalize();
+  }
+  EXPECT_EQ(sp.get().device(0).pool_used(), 0u);
+  EXPECT_EQ(sp.get().device(1).pool_used(), 0u);
+}
+
+TEST(SealLike, FacadeEndToEnd) {
+  seal_like::EncryptionParameters parms;
+  parms.set_poly_modulus_degree(256);
+  parms.set_coeff_modulus_count(3);
+  seal_like::SEALContext context(parms, 11);
+  seal_like::KeyGenerator keygen(context);
+  seal_like::Encryptor encryptor(context, keygen.create_public_key());
+  seal_like::Decryptor decryptor(context, keygen.secret_key());
+  seal_like::CKKSEncoder encoder(context);
+  seal_like::Evaluator evaluator(context);
+
+  seal_like::Plaintext pa, pb;
+  encoder.encode(3.0, context.top_level(), pa);
+  encoder.encode(-1.5, context.top_level(), pb);
+  seal_like::Ciphertext ca, cb, prod;
+  encryptor.encrypt(pa, ca);
+  encryptor.encrypt(pb, cb);
+  evaluator.multiply(ca, cb, prod);
+  auto rk = keygen.create_relin_keys(context.top_level());
+  evaluator.relinearize_inplace(prod, rk);
+  evaluator.rescale_to_next_inplace(prod);
+
+  seal_like::Plaintext out;
+  decryptor.decrypt(prod, out);
+  std::vector<std::complex<double>> values;
+  encoder.decode(out, values);
+  EXPECT_NEAR(values[0].real(), -4.5, 1e-2);
+}
+
+}  // namespace

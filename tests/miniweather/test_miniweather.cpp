@@ -1,0 +1,265 @@
+// miniWeather: physics sanity of the shared core, agreement of every
+// driver with the serial reference, multi-device correctness through
+// composite data places, graph-backend equivalence, I/O host tasks, and
+// the performance ordering of Fig. 9 / Fig. 10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "miniweather/baselines.hpp"
+#include "miniweather/core.hpp"
+#include "miniweather/stf_driver.hpp"
+
+namespace {
+
+using namespace miniweather;
+
+config small_cfg(testcase tc = testcase::thermal) {
+  config c;
+  c.nx = 48;
+  c.nz = 24;
+  c.sim_time = 20.0;
+  c.tc = tc;
+  return c;
+}
+
+cudasim::device_desc tdesc() {
+  auto d = cudasim::test_desc();
+  d.mem_capacity = 1ull << 30;
+  return d;
+}
+
+double max_abs_diff(const dbuffer& a, const dbuffer& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(MiniWeatherCore, HydrostaticBackgroundIsSteady) {
+  // With no perturbation and no injection, the state must stay (nearly)
+  // unchanged: the discrete background is in equilibrium up to truncation.
+  config c = small_cfg(testcase::thermal);
+  c.tc = testcase::thermal;
+  fields f(c);
+  init_fields(c, f);
+  // Remove the thermal so the initial condition is the pure background.
+  for (std::size_t i = 0; i < f.state.size(); ++i) {
+    f.state[i] = 0.0;
+    f.state_tmp[i] = 0.0;
+  }
+  for (int s = 0; s < 10; ++s) {
+    step_serial(c, f, static_cast<std::size_t>(s));
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < f.state.size(); ++i) {
+    m = std::max(m, std::fabs(f.state[i]));
+  }
+  EXPECT_LT(m, 1e-2);  // truncation-level noise only
+}
+
+TEST(MiniWeatherCore, ThermalConservesMass) {
+  config c = small_cfg(testcase::thermal);
+  fields f(c);
+  init_fields(c, f);
+  auto before = reductions(c, f);
+  for (std::size_t s = 0; s < c.num_steps(); ++s) {
+    step_serial(c, f, s);
+  }
+  auto after = reductions(c, f);
+  EXPECT_NEAR(after[0] / before[0], 1.0, 1e-9);  // periodic + walls: exact-ish
+  EXPECT_TRUE(std::isfinite(after[1]));
+}
+
+TEST(MiniWeatherCore, ThermalRisesUpward) {
+  // The warm bubble must acquire upward momentum.
+  config c = small_cfg(testcase::thermal);
+  c.sim_time = 50.0;
+  fields f(c);
+  init_fields(c, f);
+  for (std::size_t s = 0; s < c.num_steps(); ++s) {
+    step_serial(c, f, s);
+  }
+  double max_w = 0.0;
+  for (std::size_t k = 0; k < c.nz; ++k) {
+    for (std::size_t i = 0; i < c.nx; ++i) {
+      max_w = std::max(max_w, f.state_at(id_wmom, k, i));
+    }
+  }
+  EXPECT_GT(max_w, 1e-3);
+}
+
+TEST(MiniWeatherStf, MatchesSerialReferenceSingleDevice) {
+  config c = small_cfg(testcase::injection);
+  fields ref(c);
+  init_fields(c, ref);
+  for (std::size_t s = 0; s < 20; ++s) {
+    step_serial(c, ref, s);
+  }
+
+  cudasim::scoped_platform sp(1, tdesc());
+  cudastf::context ctx(sp.get());
+  stf_simulation sim(ctx, c, cudastf::exec_place::device(0));
+  sim.run_steps(20);
+  ctx.finalize();
+  EXPECT_LT(max_abs_diff(sim.host_fields().state, ref.state), 1e-11);
+}
+
+TEST(MiniWeatherStf, MatchesSerialReferenceMultiDevice) {
+  config c = small_cfg(testcase::injection);
+  fields ref(c);
+  init_fields(c, ref);
+  for (std::size_t s = 0; s < 12; ++s) {
+    step_serial(c, ref, s);
+  }
+
+  cudasim::scoped_platform sp(4, tdesc());
+  cudastf::context ctx(sp.get());
+  stf_simulation sim(ctx, c, cudastf::exec_place::all_devices());
+  sim.run_steps(12);
+  ctx.finalize();
+  EXPECT_LT(max_abs_diff(sim.host_fields().state, ref.state), 1e-11);
+}
+
+TEST(MiniWeatherStf, GraphBackendMatchesReference) {
+  config c = small_cfg(testcase::thermal);
+  fields ref(c);
+  init_fields(c, ref);
+  for (std::size_t s = 0; s < 8; ++s) {
+    step_serial(c, ref, s);
+  }
+
+  cudasim::scoped_platform sp(1, tdesc());
+  cudastf::context ctx = cudastf::context::graph(sp.get());
+  stf_simulation sim(ctx, c, cudastf::exec_place::device(0),
+                     {.fence_per_step = true});
+  sim.run_steps(8);
+  ctx.finalize();
+  EXPECT_LT(max_abs_diff(sim.host_fields().state, ref.state), 1e-11);
+  // Identical epochs after the first: memoization must kick in.
+  EXPECT_GE(ctx.stats().graph_updates, 5u);
+}
+
+TEST(MiniWeatherStf, HostIoTasksRun) {
+  config c = small_cfg(testcase::thermal);
+  cudasim::scoped_platform sp(1, tdesc());
+  cudastf::context ctx(sp.get());
+  stf_simulation sim(ctx, c, cudastf::exec_place::device(0),
+                     {.io_interval = 4});
+  sim.run_steps(12);
+  ctx.finalize();
+  EXPECT_EQ(sim.io_count(), 3u);
+}
+
+TEST(MiniWeatherBaseline, SingleDeviceNumericsMatchSerial) {
+  config c = small_cfg(testcase::injection);
+  fields ref(c);
+  init_fields(c, ref);
+  const std::size_t steps = c.num_steps();
+  for (std::size_t s = 0; s < steps; ++s) {
+    step_serial(c, ref, s);
+  }
+
+  cudasim::scoped_platform sp(1, tdesc());
+  fields f(c);
+  init_fields(c, f);
+  run_baseline(sp.get(), c, f, yakl_profile(), 1, /*compute=*/true);
+  EXPECT_LT(max_abs_diff(f.state, ref.state), 1e-12);
+}
+
+TEST(MiniWeatherBaseline, MultiDeviceComputeRejected) {
+  config c = small_cfg();
+  cudasim::scoped_platform sp(2, tdesc());
+  fields f(c);
+  EXPECT_THROW(run_baseline(sp.get(), c, f, yakl_profile(), 2, true),
+               std::invalid_argument);
+}
+
+TEST(MiniWeatherPerf, SingleGpuOrderingMatchesPaper) {
+  // Fig. 9 at one device: CUDASTF < OpenACC < YAKL.
+  config c;
+  c.nx = 2000;
+  c.nz = 1000;
+  c.sim_time = 2.0;  // ~60 steps so startup transfers amortize
+  c.tc = testcase::injection;
+
+  double t_stf;
+  {
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    cudastf::context ctx(sp.get());
+    stf_simulation sim(ctx, c, cudastf::exec_place::device(0),
+                       {.compute = false, .fence_per_step = false});
+    sim.run();
+    ctx.finalize();
+    t_stf = sp.get().now();
+  }
+  auto run_profile = [&](const baseline_profile& p) {
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    fields f(c, false);
+    return run_baseline(sp.get(), c, f, p, 1, false);
+  };
+  const double t_acc = run_profile(openacc_profile());
+  const double t_yakl = run_profile(yakl_profile());
+  EXPECT_LT(t_stf, t_acc);
+  EXPECT_LT(t_acc, t_yakl);
+}
+
+TEST(MiniWeatherPerf, StfScalesToMultipleDevices) {
+  config c;
+  c.nx = 4000;
+  c.nz = 2000;
+  c.sim_time = 1.0;  // ~60 steps
+  c.tc = testcase::injection;
+  auto run_n = [&](int ndev) {
+    cudasim::scoped_platform sp(ndev, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    cudastf::context ctx(sp.get());
+    auto where = ndev == 1 ? cudastf::exec_place::device(0)
+                           : cudastf::exec_place::all_devices();
+    stf_simulation sim(ctx, c, where, {.compute = false, .fence_per_step = false});
+    sim.run();
+    ctx.finalize();
+    return sp.get().now();
+  };
+  const double t1 = run_n(1);
+  const double t4 = run_n(4);
+  EXPECT_GT(t1 / t4, 2.5);  // decent strong scaling at this size
+}
+
+TEST(MiniWeatherPerf, GraphBackendHelpsSmallProblems) {
+  // Fig. 10: at small domains the graph backend beats the stream backend.
+  config c;
+  c.nx = 512;
+  c.nz = 256;
+  c.sim_time = 20.0;  // enough epochs for memoization to pay off
+  c.tc = testcase::injection;
+  auto run_backend = [&](bool graph) {
+    cudasim::scoped_platform sp(1, cudasim::a100_desc());
+    sp.get().set_copy_payloads(false);
+    cudastf::context ctx = graph ? cudastf::context::graph(sp.get())
+                                 : cudastf::context(sp.get());
+    stf_simulation sim(ctx, c, cudastf::exec_place::device(0),
+                       {.compute = false, .fence_per_step = true});
+    sim.run();
+    ctx.finalize();
+    return sp.get().now();
+  };
+  const double t_stream = run_backend(false);
+  const double t_graph = run_backend(true);
+  EXPECT_LT(t_graph, t_stream);
+}
+
+TEST(MiniWeatherCpuModel, MatchesPaperCalibration) {
+  config c;
+  c.nx = 500;
+  c.nz = 250;
+  c.sim_time = 1000.0;
+  EXPECT_NEAR(cpu_model_seconds(c, 1), 348.0, 348.0 * 0.35);
+  EXPECT_NEAR(cpu_model_seconds(c, 32), 32.6, 32.6 * 0.35);
+  EXPECT_LT(cpu_model_seconds(c, 32), cpu_model_seconds(c, 1));
+}
+
+}  // namespace
