@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heft.dir/bench_ablation_heft.cpp.o"
+  "CMakeFiles/bench_ablation_heft.dir/bench_ablation_heft.cpp.o.d"
+  "bench_ablation_heft"
+  "bench_ablation_heft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fhe_dot.dir/bench_fig11_fhe_dot.cpp.o"
+  "CMakeFiles/bench_fig11_fhe_dot.dir/bench_fig11_fhe_dot.cpp.o.d"
+  "bench_fig11_fhe_dot"
+  "bench_fig11_fhe_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fhe_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_oom_cholesky.dir/bench_fig3_oom_cholesky.cpp.o"
+  "CMakeFiles/bench_fig3_oom_cholesky.dir/bench_fig3_oom_cholesky.cpp.o.d"
+  "bench_fig3_oom_cholesky"
+  "bench_fig3_oom_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_oom_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cholesky.dir/bench_fig8_cholesky.cpp.o"
+  "CMakeFiles/bench_fig8_cholesky.dir/bench_fig8_cholesky.cpp.o.d"
+  "bench_fig8_cholesky"
+  "bench_fig8_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/encrypted_dot.cpp" "examples/CMakeFiles/encrypted_dot.dir/encrypted_dot.cpp.o" "gcc" "examples/CMakeFiles/encrypted_dot.dir/encrypted_dot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudastf/CMakeFiles/cudastf.dir/DependInfo.cmake"
+  "/root/repo/build/src/blaslib/CMakeFiles/blaslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniweather/CMakeFiles/miniweather.dir/DependInfo.cmake"
+  "/root/repo/build/src/fhe/CMakeFiles/fhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

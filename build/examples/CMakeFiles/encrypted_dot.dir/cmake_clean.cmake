@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_dot.dir/encrypted_dot.cpp.o"
+  "CMakeFiles/encrypted_dot.dir/encrypted_dot.cpp.o.d"
+  "encrypted_dot"
+  "encrypted_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

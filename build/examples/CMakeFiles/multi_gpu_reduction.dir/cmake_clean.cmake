@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_reduction.dir/multi_gpu_reduction.cpp.o"
+  "CMakeFiles/multi_gpu_reduction.dir/multi_gpu_reduction.cpp.o.d"
+  "multi_gpu_reduction"
+  "multi_gpu_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_cholesky.dir/tiled_cholesky.cpp.o"
+  "CMakeFiles/tiled_cholesky.dir/tiled_cholesky.cpp.o.d"
+  "tiled_cholesky"
+  "tiled_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

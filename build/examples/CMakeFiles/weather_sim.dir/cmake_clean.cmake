@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_sim.dir/weather_sim.cpp.o"
+  "CMakeFiles/weather_sim.dir/weather_sim.cpp.o.d"
+  "weather_sim"
+  "weather_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;add_repro_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_gpu_reduction "/root/repo/build/examples/multi_gpu_reduction")
+set_tests_properties(example_multi_gpu_reduction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;add_repro_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tiled_cholesky "/root/repo/build/examples/tiled_cholesky")
+set_tests_properties(example_tiled_cholesky PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;add_repro_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_weather_sim "/root/repo/build/examples/weather_sim")
+set_tests_properties(example_weather_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;add_repro_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_encrypted_dot "/root/repo/build/examples/encrypted_dot")
+set_tests_properties(example_encrypted_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;add_repro_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blaslib/blas_host.cpp" "src/blaslib/CMakeFiles/blaslib.dir/blas_host.cpp.o" "gcc" "src/blaslib/CMakeFiles/blaslib.dir/blas_host.cpp.o.d"
+  "/root/repo/src/blaslib/blas_sim.cpp" "src/blaslib/CMakeFiles/blaslib.dir/blas_sim.cpp.o" "gcc" "src/blaslib/CMakeFiles/blaslib.dir/blas_sim.cpp.o.d"
+  "/root/repo/src/blaslib/tiled_cholesky.cpp" "src/blaslib/CMakeFiles/blaslib.dir/tiled_cholesky.cpp.o" "gcc" "src/blaslib/CMakeFiles/blaslib.dir/tiled_cholesky.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudastf/CMakeFiles/cudastf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaslib.dir/blas_host.cpp.o"
+  "CMakeFiles/blaslib.dir/blas_host.cpp.o.d"
+  "CMakeFiles/blaslib.dir/blas_sim.cpp.o"
+  "CMakeFiles/blaslib.dir/blas_sim.cpp.o.d"
+  "CMakeFiles/blaslib.dir/tiled_cholesky.cpp.o"
+  "CMakeFiles/blaslib.dir/tiled_cholesky.cpp.o.d"
+  "libblaslib.a"
+  "libblaslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/des.cpp" "src/cudasim/CMakeFiles/cudasim.dir/des.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/des.cpp.o.d"
+  "/root/repo/src/cudasim/device.cpp" "src/cudasim/CMakeFiles/cudasim.dir/device.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/device.cpp.o.d"
+  "/root/repo/src/cudasim/graph.cpp" "src/cudasim/CMakeFiles/cudasim.dir/graph.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/graph.cpp.o.d"
+  "/root/repo/src/cudasim/platform.cpp" "src/cudasim/CMakeFiles/cudasim.dir/platform.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/platform.cpp.o.d"
+  "/root/repo/src/cudasim/stream.cpp" "src/cudasim/CMakeFiles/cudasim.dir/stream.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/stream.cpp.o.d"
+  "/root/repo/src/cudasim/vmm.cpp" "src/cudasim/CMakeFiles/cudasim.dir/vmm.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudasim.dir/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudasim.dir/des.cpp.o"
+  "CMakeFiles/cudasim.dir/des.cpp.o.d"
+  "CMakeFiles/cudasim.dir/device.cpp.o"
+  "CMakeFiles/cudasim.dir/device.cpp.o.d"
+  "CMakeFiles/cudasim.dir/graph.cpp.o"
+  "CMakeFiles/cudasim.dir/graph.cpp.o.d"
+  "CMakeFiles/cudasim.dir/platform.cpp.o"
+  "CMakeFiles/cudasim.dir/platform.cpp.o.d"
+  "CMakeFiles/cudasim.dir/stream.cpp.o"
+  "CMakeFiles/cudasim.dir/stream.cpp.o.d"
+  "CMakeFiles/cudasim.dir/vmm.cpp.o"
+  "CMakeFiles/cudasim.dir/vmm.cpp.o.d"
+  "libcudasim.a"
+  "libcudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

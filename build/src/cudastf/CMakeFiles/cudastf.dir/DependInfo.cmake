@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudastf/backend_graph.cpp" "src/cudastf/CMakeFiles/cudastf.dir/backend_graph.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/backend_graph.cpp.o.d"
+  "/root/repo/src/cudastf/backend_stream.cpp" "src/cudastf/CMakeFiles/cudastf.dir/backend_stream.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/backend_stream.cpp.o.d"
+  "/root/repo/src/cudastf/context.cpp" "src/cudastf/CMakeFiles/cudastf.dir/context.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/context.cpp.o.d"
+  "/root/repo/src/cudastf/data.cpp" "src/cudastf/CMakeFiles/cudastf.dir/data.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/data.cpp.o.d"
+  "/root/repo/src/cudastf/hierarchy.cpp" "src/cudastf/CMakeFiles/cudastf.dir/hierarchy.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cudastf/page_mapper.cpp" "src/cudastf/CMakeFiles/cudastf.dir/page_mapper.cpp.o" "gcc" "src/cudastf/CMakeFiles/cudastf.dir/page_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudastf.dir/backend_graph.cpp.o"
+  "CMakeFiles/cudastf.dir/backend_graph.cpp.o.d"
+  "CMakeFiles/cudastf.dir/backend_stream.cpp.o"
+  "CMakeFiles/cudastf.dir/backend_stream.cpp.o.d"
+  "CMakeFiles/cudastf.dir/context.cpp.o"
+  "CMakeFiles/cudastf.dir/context.cpp.o.d"
+  "CMakeFiles/cudastf.dir/data.cpp.o"
+  "CMakeFiles/cudastf.dir/data.cpp.o.d"
+  "CMakeFiles/cudastf.dir/hierarchy.cpp.o"
+  "CMakeFiles/cudastf.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/cudastf.dir/page_mapper.cpp.o"
+  "CMakeFiles/cudastf.dir/page_mapper.cpp.o.d"
+  "libcudastf.a"
+  "libcudastf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudastf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusolvermg.dir/mg_cholesky.cpp.o"
+  "CMakeFiles/cusolvermg.dir/mg_cholesky.cpp.o.d"
+  "libcusolvermg.a"
+  "libcusolvermg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusolvermg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fhe/ckks.cpp" "src/fhe/CMakeFiles/fhe.dir/ckks.cpp.o" "gcc" "src/fhe/CMakeFiles/fhe.dir/ckks.cpp.o.d"
+  "/root/repo/src/fhe/modmath.cpp" "src/fhe/CMakeFiles/fhe.dir/modmath.cpp.o" "gcc" "src/fhe/CMakeFiles/fhe.dir/modmath.cpp.o.d"
+  "/root/repo/src/fhe/ntt.cpp" "src/fhe/CMakeFiles/fhe.dir/ntt.cpp.o" "gcc" "src/fhe/CMakeFiles/fhe.dir/ntt.cpp.o.d"
+  "/root/repo/src/fhe/stf_evaluator.cpp" "src/fhe/CMakeFiles/fhe.dir/stf_evaluator.cpp.o" "gcc" "src/fhe/CMakeFiles/fhe.dir/stf_evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudastf/CMakeFiles/cudastf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe.dir/ckks.cpp.o"
+  "CMakeFiles/fhe.dir/ckks.cpp.o.d"
+  "CMakeFiles/fhe.dir/modmath.cpp.o"
+  "CMakeFiles/fhe.dir/modmath.cpp.o.d"
+  "CMakeFiles/fhe.dir/ntt.cpp.o"
+  "CMakeFiles/fhe.dir/ntt.cpp.o.d"
+  "CMakeFiles/fhe.dir/stf_evaluator.cpp.o"
+  "CMakeFiles/fhe.dir/stf_evaluator.cpp.o.d"
+  "libfhe.a"
+  "libfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miniweather/baselines.cpp" "src/miniweather/CMakeFiles/miniweather.dir/baselines.cpp.o" "gcc" "src/miniweather/CMakeFiles/miniweather.dir/baselines.cpp.o.d"
+  "/root/repo/src/miniweather/core.cpp" "src/miniweather/CMakeFiles/miniweather.dir/core.cpp.o" "gcc" "src/miniweather/CMakeFiles/miniweather.dir/core.cpp.o.d"
+  "/root/repo/src/miniweather/stf_driver.cpp" "src/miniweather/CMakeFiles/miniweather.dir/stf_driver.cpp.o" "gcc" "src/miniweather/CMakeFiles/miniweather.dir/stf_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudastf/CMakeFiles/cudastf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniweather.dir/baselines.cpp.o"
+  "CMakeFiles/miniweather.dir/baselines.cpp.o.d"
+  "CMakeFiles/miniweather.dir/core.cpp.o"
+  "CMakeFiles/miniweather.dir/core.cpp.o.d"
+  "CMakeFiles/miniweather.dir/stf_driver.cpp.o"
+  "CMakeFiles/miniweather.dir/stf_driver.cpp.o.d"
+  "libminiweather.a"
+  "libminiweather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniweather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

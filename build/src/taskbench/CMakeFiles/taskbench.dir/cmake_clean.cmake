@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskbench.dir/taskbench.cpp.o"
+  "CMakeFiles/taskbench.dir/taskbench.cpp.o.d"
+  "libtaskbench.a"
+  "libtaskbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency_api.dir/cudastf/test_concurrency_api.cpp.o"
+  "CMakeFiles/test_concurrency_api.dir/cudastf/test_concurrency_api.cpp.o.d"
+  "test_concurrency_api"
+  "test_concurrency_api.pdb"
+  "test_concurrency_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim_des.dir/cudasim/test_des.cpp.o"
+  "CMakeFiles/test_cudasim_des.dir/cudasim/test_des.cpp.o.d"
+  "test_cudasim_des"
+  "test_cudasim_des.pdb"
+  "test_cudasim_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

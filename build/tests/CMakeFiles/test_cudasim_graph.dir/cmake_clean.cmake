@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim_graph.dir/cudasim/test_graph.cpp.o"
+  "CMakeFiles/test_cudasim_graph.dir/cudasim/test_graph.cpp.o.d"
+  "test_cudasim_graph"
+  "test_cudasim_graph.pdb"
+  "test_cudasim_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim_stream.dir/cudasim/test_stream.cpp.o"
+  "CMakeFiles/test_cudasim_stream.dir/cudasim/test_stream.cpp.o.d"
+  "test_cudasim_stream"
+  "test_cudasim_stream.pdb"
+  "test_cudasim_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fhe_sweeps.dir/fhe/test_fhe_sweeps.cpp.o"
+  "CMakeFiles/test_fhe_sweeps.dir/fhe/test_fhe_sweeps.cpp.o.d"
+  "test_fhe_sweeps"
+  "test_fhe_sweeps.pdb"
+  "test_fhe_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fhe_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_ctx.dir/cudastf/test_graph_ctx.cpp.o"
+  "CMakeFiles/test_graph_ctx.dir/cudastf/test_graph_ctx.cpp.o.d"
+  "test_graph_ctx"
+  "test_graph_ctx.pdb"
+  "test_graph_ctx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heft.dir/cudastf/test_heft.cpp.o"
+  "CMakeFiles/test_heft.dir/cudastf/test_heft.cpp.o.d"
+  "test_heft"
+  "test_heft.pdb"
+  "test_heft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniweather.dir/miniweather/test_miniweather.cpp.o"
+  "CMakeFiles/test_miniweather.dir/miniweather/test_miniweather.cpp.o.d"
+  "test_miniweather"
+  "test_miniweather.pdb"
+  "test_miniweather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniweather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msi_protocol.dir/cudastf/test_msi_protocol.cpp.o"
+  "CMakeFiles/test_msi_protocol.dir/cudastf/test_msi_protocol.cpp.o.d"
+  "test_msi_protocol"
+  "test_msi_protocol.pdb"
+  "test_msi_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msi_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_mapper.dir/cudastf/test_page_mapper.cpp.o"
+  "CMakeFiles/test_page_mapper.dir/cudastf/test_page_mapper.cpp.o.d"
+  "test_page_mapper"
+  "test_page_mapper.pdb"
+  "test_page_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slice_shape.dir/cudastf/test_slice_shape.cpp.o"
+  "CMakeFiles/test_slice_shape.dir/cudastf/test_slice_shape.cpp.o.d"
+  "test_slice_shape"
+  "test_slice_shape.pdb"
+  "test_slice_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slice_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

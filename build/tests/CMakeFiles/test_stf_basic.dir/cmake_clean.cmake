@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stf_basic.dir/cudastf/test_stf_basic.cpp.o"
+  "CMakeFiles/test_stf_basic.dir/cudastf/test_stf_basic.cpp.o.d"
+  "test_stf_basic"
+  "test_stf_basic.pdb"
+  "test_stf_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stf_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stf_fhe.dir/fhe/test_stf_fhe.cpp.o"
+  "CMakeFiles/test_stf_fhe.dir/fhe/test_stf_fhe.cpp.o.d"
+  "test_stf_fhe"
+  "test_stf_fhe.pdb"
+  "test_stf_fhe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stf_fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_cudasim_des[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim_vmm[1]_include.cmake")
+include("/root/repo/build/tests/test_stf_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_ctx[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_for[1]_include.cmake")
+include("/root/repo/build/tests/test_launch[1]_include.cmake")
+include("/root/repo/build/tests/test_eviction[1]_include.cmake")
+include("/root/repo/build/tests/test_page_mapper[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build/tests/test_miniweather[1]_include.cmake")
+include("/root/repo/build/tests/test_ckks[1]_include.cmake")
+include("/root/repo/build/tests/test_stf_fhe[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_heft[1]_include.cmake")
+include("/root/repo/build/tests/test_fhe_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_slice_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency_api[1]_include.cmake")
+include("/root/repo/build/tests/test_msi_protocol[1]_include.cmake")
