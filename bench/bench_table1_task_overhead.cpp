@@ -5,9 +5,13 @@
 // topologies with different average dependency counts, 5000 tasks per
 // measurement, mean +/- standard deviation over repetitions, on both the
 // A100 and H100 device models.
+//
+// With --json, emits one JSON record per topology/device pair on stdout
+// (a single array) for regression tracking; see BENCH_table1.json.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "cudastf/cudastf.hpp"
@@ -63,17 +67,32 @@ double run_once(cudasim::platform& plat, const std::vector<taskbench::task_node>
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint32_t width = 50;
   constexpr std::uint32_t steps = 100;  // 5000 tasks per run
   constexpr int reps = 5;
 
-  std::printf("Table I: task cost for different graph topologies\n");
-  std::printf("(empty tasks; avg submission time over %u tasks, %d reps)\n\n",
-              width * steps, reps);
-  std::printf("%-22s %-26s %-26s\n", "Graph Topology (deps)", "A100 model (us)",
-              "H100 model (us)");
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      return 2;
+    }
+  }
 
+  if (json) {
+    std::printf("[");
+  } else {
+    std::printf("Table I: task cost for different graph topologies\n");
+    std::printf("(empty tasks; avg submission time over %u tasks, %d reps)\n\n",
+                width * steps, reps);
+    std::printf("%-22s %-26s %-26s\n", "Graph Topology (deps)",
+                "A100 model (us)", "H100 model (us)");
+  }
+
+  bool first_record = true;
   for (taskbench::topology topo : taskbench::all_topologies()) {
     auto tasks = taskbench::generate(topo, width, steps, 2024);
     const double avg_deps = taskbench::average_deps(tasks);
@@ -98,14 +117,31 @@ int main() {
       stdev[col] = std::sqrt(v / reps);
       ++col;
     }
-    char label[64];
-    std::snprintf(label, sizeof label, "%s (%.2f)", taskbench::name(topo),
-                  avg_deps);
-    std::printf("%-22s %8.2f +/- %-12.3f %8.2f +/- %-12.3f\n", label, mean[0],
-                stdev[0], mean[1], stdev[1]);
+    if (json) {
+      const char* devices[2] = {"A100", "H100"};
+      for (int d = 0; d < 2; ++d) {
+        std::printf(
+            "%s\n  {\"topology\": \"%s\", \"device\": \"%s\", "
+            "\"avg_deps\": %.4f, \"tasks\": %u, \"reps\": %d, "
+            "\"mean_us_per_task\": %.4f, \"stdev_us_per_task\": %.4f}",
+            first_record ? "" : ",", taskbench::name(topo), devices[d],
+            avg_deps, width * steps, reps, mean[d], stdev[d]);
+        first_record = false;
+      }
+    } else {
+      char label[64];
+      std::snprintf(label, sizeof label, "%s (%.2f)", taskbench::name(topo),
+                    avg_deps);
+      std::printf("%-22s %8.2f +/- %-12.3f %8.2f +/- %-12.3f\n", label,
+                  mean[0], stdev[0], mean[1], stdev[1]);
+    }
   }
-  std::printf(
-      "\nExpected shape: ~1-3 us/task, increasing with the average\n"
-      "dependency count (paper: 1.64..2.99 us on A100).\n");
+  if (json) {
+    std::printf("\n]\n");
+  } else {
+    std::printf(
+        "\nExpected shape: ~1-3 us/task, increasing with the average\n"
+        "dependency count (paper: 1.64..2.99 us on A100).\n");
+  }
   return 0;
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then the
+# Table I task-overhead benchmark in JSON mode. Exits nonzero on any
+# failure. Usage: scripts/tier1.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$repo" -B "$build"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+"$build/bench/bench_table1_task_overhead" --json

@@ -6,18 +6,47 @@
 
 namespace cudasim {
 
-op_node* timeline::make_node(std::string name, int device, engine* eng,
-                             double duration, std::function<void()> body) {
-  auto node = std::make_unique<op_node>();
+timeline::~timeline() {
+  for (op_node* slab : slabs_) {
+    delete[] slab;
+  }
+}
+
+const char* timeline::intern(std::string_view name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    it = names_.emplace(name).first;
+  }
+  return it->c_str();
+}
+
+op_node* timeline::make_node(std::string_view name, int device, engine* eng,
+                             double duration, task_fn body) {
+  op_node* node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+    ++pooled_;
+    node->unmet = 0;
+    node->submitted = false;
+    node->done = false;
+    node->t_ready = 0.0;
+    node->t_start = 0.0;
+    node->t_end = 0.0;
+  } else {
+    if (slab_used_ == slab_nodes) {
+      slabs_.push_back(new op_node[slab_nodes]);
+      slab_used_ = 0;
+    }
+    node = &slabs_.back()[slab_used_++];
+  }
   node->id = next_id_++;
-  node->name = std::move(name);
+  node->name = intern(name);
   node->device = device;
   node->eng = eng;
   node->duration = duration;
   node->body = std::move(body);
-  op_node* raw = node.get();
-  nodes_.push_back(std::move(node));
-  return raw;
+  return node;
 }
 
 void timeline::add_dep(op_node* pred, op_node* succ) {
@@ -74,8 +103,7 @@ void timeline::complete(op_node* node) {
   if (node->body) {
     // Run (and release) the payload in completion order so numerical side
     // effects observe a valid topological order of the DAG.
-    auto body = std::move(node->body);
-    node->body = nullptr;
+    task_fn body = std::move(node->body);
     body();
   }
   if (node->eng != nullptr) {
@@ -89,7 +117,7 @@ void timeline::complete(op_node* node) {
     }
   }
   node->succs.clear();
-  node->succs.shrink_to_fit();
+  retired_.push_back(node);
 }
 
 void timeline::drain() {
@@ -107,12 +135,17 @@ void timeline::drain() {
 }
 
 void timeline::gc() {
-  // Nothing in the DAG points backwards at a completed node once its
-  // successor list has been cleared, so completed nodes are reclaimable as
-  // soon as external handles (streams, events) have dropped their pointers.
-  if (nodes_.size() > 4096) {
-    std::erase_if(nodes_, [](const std::unique_ptr<op_node>& n) { return n->done; });
+  // Completed nodes are reclaimable as soon as external handles (streams,
+  // events) have dropped their pointers: nothing in the DAG points backwards
+  // at a completed node once its successor list has been cleared.
+  if (retired_.empty()) {
+    return;
   }
+  free_.reserve(free_.size() + retired_.size());
+  for (op_node* node : retired_) {
+    free_.push_back(node);
+  }
+  retired_.clear();
 }
 
 void timeline::drain_until(const op_node* node) {

@@ -167,7 +167,7 @@ void graph_exec::launch(stream& s) {
       }
       case graph_node_kind::memcpy: {
         const platform::copy_plan plan = plat_->plan_copy(dev, n.bytes, n.ckind);
-        std::function<void()> body;
+        task_fn body;
         if (plat_->copy_payloads()) {
           void* dst = n.dst;
           const void* src = n.src;

@@ -6,15 +6,26 @@
 // host callback thread): ops mapped to the same engine serialize, everything
 // else is ordered only by explicit dependencies. A virtual clock measured in
 // seconds advances as the DAG is drained.
+//
+// The submission path is allocation-free in steady state: nodes come from a
+// slab pool and are recycled by gc(), names are interned once, bodies live
+// in a small-buffer callable, and successor edges use inline storage.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace cudasim {
@@ -32,6 +43,141 @@ enum class engine_kind : std::uint8_t {
 };
 
 class engine;
+struct op_node;
+
+/// Move-only callable with small-buffer storage, replacing std::function on
+/// the op_node hot path: typical bodies (a memcpy closure, a deferred free)
+/// fit inline, so creating a node performs no heap allocation.
+class task_fn {
+ public:
+  static constexpr std::size_t inline_capacity = 48;
+
+  task_fn() noexcept = default;
+  task_fn(std::nullptr_t) noexcept {}
+
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, task_fn> &&
+                                     std::is_invocable_v<std::decay_t<F>&>>>
+  task_fn(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (std::is_same_v<D, std::function<void()>>) {
+      if (!f) {
+        return;  // empty std::function stays an empty task_fn
+      }
+    }
+    if constexpr (sizeof(D) <= inline_capacity &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &vtable_inline<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      vt_ = &vtable_heap<D>;
+    }
+  }
+
+  task_fn(task_fn&& o) noexcept { move_from(o); }
+  task_fn& operator=(task_fn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  task_fn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  task_fn(const task_fn&) = delete;
+  task_fn& operator=(const task_fn&) = delete;
+  ~task_fn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+  void operator()() { vt_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct vtable {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;
+  };
+
+  template <class D>
+  static constexpr vtable vtable_inline = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      }};
+
+  template <class D>
+  static constexpr vtable vtable_heap = {
+      [](void* p) { (**reinterpret_cast<D**>(p))(); },
+      [](void* p) noexcept { delete *reinterpret_cast<D**>(p); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(D*));
+      }};
+
+  void move_from(task_fn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[inline_capacity];
+  const vtable* vt_ = nullptr;
+};
+
+/// Successor-edge list with inline storage for the common fan-out (<= 4);
+/// spills to the heap only for wide joins. Trivial elements, so growth is a
+/// plain memcpy and clear() keeps the spilled capacity for pooled reuse.
+class succ_list {
+ public:
+  succ_list() noexcept = default;
+  succ_list(const succ_list&) = delete;
+  succ_list& operator=(const succ_list&) = delete;
+  ~succ_list() { delete[] heap_; }
+
+  void push_back(op_node* n) {
+    if (size_ == cap_) {
+      grow();
+    }
+    data()[size_++] = n;
+  }
+
+  void clear() noexcept { size_ = 0; }
+  std::uint32_t size() const noexcept { return size_; }
+  op_node** begin() noexcept { return data(); }
+  op_node** end() noexcept { return data() + size_; }
+
+ private:
+  static constexpr std::uint32_t inline_cap = 4;
+
+  op_node** data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+
+  void grow() {
+    const std::uint32_t new_cap = cap_ * 2;
+    op_node** p = new op_node*[new_cap];
+    std::memcpy(p, data(), size_ * sizeof(op_node*));
+    delete[] heap_;
+    heap_ = p;
+    cap_ = new_cap;
+  }
+
+  op_node* inline_[inline_cap];
+  op_node** heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = inline_cap;
+};
 
 /// A node of the simulated dependency DAG.
 ///
@@ -39,16 +185,20 @@ class engine;
 /// time, and consumed exactly once by timeline::drain(). `body` (optional)
 /// runs when the node completes so that numerical side effects happen in a
 /// valid topological order.
+///
+/// Nodes live in timeline-owned slabs and are recycled after completion:
+/// holding an op_node* past completion requires dropping it before
+/// timeline::gc() runs (see platform::collect_handles()).
 struct op_node {
   std::uint64_t id = 0;
-  std::string name;
-  int device = -1;  ///< owning device, -1 for host/none
+  const char* name = "";  ///< interned by the owning timeline
+  int device = -1;        ///< owning device, -1 for host/none
   engine* eng = nullptr;
   double duration = 0.0;  ///< engine occupancy time in seconds
-  std::function<void()> body;
+  task_fn body;
 
-  std::vector<op_node*> succs;
-  int unmet = 0;       ///< predecessors not yet complete
+  succ_list succs;
+  int unmet = 0;  ///< predecessors not yet complete
   bool submitted = false;
   bool done = false;
   timepoint t_ready = 0.0;
@@ -81,10 +231,11 @@ class timeline {
   timeline() = default;
   timeline(const timeline&) = delete;
   timeline& operator=(const timeline&) = delete;
+  ~timeline();
 
   /// Creates a node; the caller wires dependencies before submit().
-  op_node* make_node(std::string name, int device, engine* eng, double duration,
-                     std::function<void()> body = {});
+  op_node* make_node(std::string_view name, int device, engine* eng,
+                     double duration, task_fn body = {});
 
   /// Declares that `succ` cannot start before `pred` completes.
   /// Predecessors that already completed are ignored.
@@ -99,8 +250,9 @@ class timeline {
   /// Runs the simulation until the given node has completed.
   void drain_until(const op_node* node);
 
-  /// Reclaims completed nodes. Callers must first drop every external
-  /// pointer to completed nodes (see platform::collect_handles()).
+  /// Recycles completed nodes into the slab pool. Callers must first drop
+  /// every external pointer to completed nodes (see
+  /// platform::collect_handles()).
   void gc();
 
   /// Largest completion time observed so far.
@@ -112,6 +264,10 @@ class timeline {
   /// Submitted but not yet completed nodes.
   std::uint64_t live_count() const { return live_; }
 
+  /// Nodes served from the recycle pool instead of fresh slab space
+  /// (fast-path perf counter).
+  std::uint64_t nodes_pooled() const { return pooled_; }
+
  private:
   struct pending_event {
     timepoint time;
@@ -122,11 +278,31 @@ class timeline {
     }
   };
 
+  struct sv_hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct sv_eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  const char* intern(std::string_view name);
   void on_ready(op_node* node, timepoint t);
   void start_on_engine(engine* eng, timepoint t);
   void complete(op_node* node);
 
-  std::vector<std::unique_ptr<op_node>> nodes_;
+  static constexpr std::size_t slab_nodes = 256;
+  std::vector<op_node*> slabs_;          ///< slab base pointers (owned)
+  std::size_t slab_used_ = slab_nodes;   ///< forces first-slab allocation
+  std::vector<op_node*> free_;           ///< recycled nodes ready for reuse
+  std::vector<op_node*> retired_;        ///< completed, awaiting gc()
+  std::unordered_set<std::string, sv_hash, sv_eq> names_;
+
   std::priority_queue<pending_event, std::vector<pending_event>,
                       std::greater<pending_event>>
       events_;
@@ -135,6 +311,7 @@ class timeline {
   std::uint64_t next_seq_ = 1;
   std::uint64_t completed_ = 0;
   std::uint64_t live_ = 0;  ///< submitted but not completed
+  std::uint64_t pooled_ = 0;
 };
 
 }  // namespace cudasim

@@ -125,6 +125,10 @@ class platform {
 
   std::uint64_t ops_completed() const { return tl_.completed_count(); }
 
+  /// DES nodes recycled through the timeline's slab pool (fast-path
+  /// perf counter; see DESIGN.md "Host-side fast path").
+  std::uint64_t nodes_pooled() const { return tl_.nodes_pooled(); }
+
   // --- internals shared with stream/event/graph (not for end users) ---
 
   /// Charges `bytes` against device `dev`'s pool and returns backing memory

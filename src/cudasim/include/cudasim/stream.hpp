@@ -29,8 +29,18 @@ class stream {
   platform& owner() const { return *plat_; }
   int device() const { return device_; }
 
+  /// Process-unique stream identity, stable across moves. Used by the STF
+  /// layer to prune events dominated by a later event on the same stream
+  /// (paper §IV: in-order streams make the later event a superset).
+  std::uint64_t uid() const { return uid_; }
+
   /// Makes future work on this stream wait for `e` (cudaStreamWaitEvent).
   void wait_event(const event& e);
+
+  /// Batched cudaStreamWaitEvent: future work on this stream waits for all
+  /// `n` events. Pending events are fused into a single join marker instead
+  /// of one marker per event, so the fast path creates at most one node.
+  void wait_events(const event* const* evs, std::size_t n);
 
   /// Blocks (drains the simulation) until all work submitted so far is done.
   void synchronize();
@@ -50,12 +60,16 @@ class stream {
   op_node* last() const { return last_; }
   void set_last(op_node* n) { last_ = n; }
   void drop_completed();  ///< forget last_ if it already completed
+  /// Internal: monotone per-stream counter stamped onto recorded events.
+  std::uint64_t next_record_seq() { return ++record_seq_; }
   // Internal: capture bookkeeping (nodes this stream's capture tail).
   void* capture_tail_ = nullptr;
 
  private:
   platform* plat_;
   int device_;
+  std::uint64_t uid_;
+  std::uint64_t record_seq_ = 0;
   op_node* last_ = nullptr;
   graph* capture_ = nullptr;
 };
@@ -83,6 +97,12 @@ class event {
   /// Virtual timestamp of completion; only valid after synchronize().
   timepoint completion_time() const { return t_end_; }
 
+  /// uid() of the stream this event was last recorded on (0 if never
+  /// recorded). Together with record_seq() this orders events on the same
+  /// stream for dominance pruning.
+  std::uint64_t record_stream_uid() const { return stream_uid_; }
+  std::uint64_t record_seq() const { return seq_; }
+
   // Internal.
   op_node* node() const { return node_; }
   void drop_completed();
@@ -91,9 +111,11 @@ class event {
   friend class stream;
   friend class platform;
   platform* plat_;
-  op_node* node_ = nullptr;  ///< pending marker node, null once collected
+  op_node* node_ = nullptr;  ///< pending tail node, null once collected
   bool recorded_ = false;
   timepoint t_end_ = 0.0;
+  std::uint64_t stream_uid_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace cudasim

@@ -133,7 +133,7 @@ void platform::memcpy_async(void* dst, const void* src, std::size_t n,
   }
   std::lock_guard lock(mu_);
   const copy_plan plan = plan_copy(s.device(), n, kind);
-  std::function<void()> body;
+  task_fn body;
   if (copy_payloads_) {
     body = [dst, src, n] {
       if (dst != nullptr && src != nullptr && n > 0) {

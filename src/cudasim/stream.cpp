@@ -1,5 +1,6 @@
 #include "cudasim/stream.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "cudasim/graph.hpp"
@@ -7,8 +8,15 @@
 
 namespace cudasim {
 
+namespace {
+// Process-global so stream identities never collide, even across platforms.
+std::atomic<std::uint64_t> next_stream_uid{1};
+}  // namespace
+
 stream::stream(platform& p, int device)
-    : plat_(&p), device_(device < 0 ? p.current_device() : device) {
+    : plat_(&p),
+      device_(device < 0 ? p.current_device() : device),
+      uid_(next_stream_uid.fetch_add(1, std::memory_order_relaxed)) {
   if (device_ >= p.device_count()) {
     throw std::out_of_range("cudasim: stream on nonexistent device");
   }
@@ -26,6 +34,8 @@ stream::~stream() {
 stream::stream(stream&& other) noexcept
     : plat_(other.plat_),
       device_(other.device_),
+      uid_(other.uid_),
+      record_seq_(other.record_seq_),
       last_(other.last_),
       capture_(other.capture_) {
   capture_tail_ = other.capture_tail_;
@@ -38,22 +48,49 @@ stream::stream(stream&& other) noexcept
 }
 
 void stream::wait_event(const event& e) {
+  const event* p = &e;
+  wait_events(&p, 1);
+}
+
+void stream::wait_events(const event* const* evs, std::size_t n) {
   if (capturing()) {
     throw std::logic_error(
         "cudasim: wait_event is not supported during capture; use graph "
         "dependencies instead");
   }
-  op_node* evn = e.node();
-  if (evn == nullptr || evn->done) {
-    return;  // already completed: no ordering needed
-  }
   std::lock_guard lock(plat_->mutex());
-  // Fuse (previous tail, event) into a marker so future work waits on both.
-  op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
-  timeline::add_dep(last_, join);
-  timeline::add_dep(evn, join);
-  last_ = join;
-  plat_->tl().submit(join);
+  // Collect still-pending nodes (completed events need no ordering) and fuse
+  // them, together with the previous tail, into one join marker so future
+  // work waits on everything. Very wide lists chain one join per chunk.
+  constexpr std::size_t chunk = 16;
+  op_node* pending[chunk];
+  std::size_t np = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    op_node* evn = evs[i]->node();
+    if (evn == nullptr || evn->done || evn == last_) {
+      continue;
+    }
+    pending[np++] = evn;
+    if (np == chunk) {
+      op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
+      timeline::add_dep(last_, join);
+      for (std::size_t j = 0; j < np; ++j) {
+        timeline::add_dep(pending[j], join);
+      }
+      last_ = join;
+      plat_->tl().submit(join);
+      np = 0;
+    }
+  }
+  if (np != 0) {
+    op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
+    timeline::add_dep(last_, join);
+    for (std::size_t j = 0; j < np; ++j) {
+      timeline::add_dep(pending[j], join);
+    }
+    last_ = join;
+    plat_->tl().submit(join);
+  }
 }
 
 void stream::synchronize() { plat_->stream_synchronize(*this); }
@@ -99,7 +136,9 @@ event::event(event&& other) noexcept
     : plat_(other.plat_),
       node_(other.node_),
       recorded_(other.recorded_),
-      t_end_(other.t_end_) {
+      t_end_(other.t_end_),
+      stream_uid_(other.stream_uid_),
+      seq_(other.seq_) {
   std::lock_guard lock(plat_->mutex());
   plat_->unregister_event(&other);
   plat_->register_event(this);
@@ -112,12 +151,20 @@ void event::record(stream& s) {
     throw std::logic_error("cudasim: event record during capture unsupported");
   }
   std::lock_guard lock(plat_->mutex());
-  op_node* marker = plat_->tl().make_node("eventRecord", s.device(), nullptr, 0.0);
-  timeline::add_dep(s.last(), marker);
-  s.set_last(marker);
-  plat_->tl().submit(marker);
-  node_ = marker;
+  // Capture the stream's current tail directly (the event completes exactly
+  // when the tail op completes) instead of enqueueing a marker node — the
+  // common record-after-submit pattern then allocates nothing.
   recorded_ = true;
+  stream_uid_ = s.uid();
+  seq_ = s.next_record_seq();
+  op_node* tail = s.last();
+  if (tail == nullptr || tail->done) {
+    // Stream already idle: the event is complete as of "now".
+    node_ = nullptr;
+    t_end_ = tail != nullptr ? tail->t_end : plat_->tl().now();
+    return;
+  }
+  node_ = tail;
 }
 
 void event::synchronize() {

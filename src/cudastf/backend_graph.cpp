@@ -71,18 +71,19 @@ event_ptr graph_backend::run(int device, channel ch, const event_list& deps,
 
   std::vector<cudasim::graph_node> dep_nodes;
   for (const event_ptr& e : deps) {
-    if (auto* ge = dynamic_cast<graph_node_event*>(e.get())) {
+    if (auto* ge = as_graph_event(e)) {
       if (ge->epoch == epoch_) {
         dep_nodes.push_back(ge->node);
       }
       // Nodes of flushed epochs are ordered by the epoch stream: drop.
-    } else if (dynamic_cast<stream_event*>(e.get()) != nullptr) {
+    } else if (as_stream_event(e) != nullptr) {
       // Real-stream work (e.g. allocations): the epoch launch will wait.
       external_deps_.add(e);
     } else {
       throw std::logic_error("cudastf: foreign event kind in graph backend");
     }
   }
+  stats_.deps_wired += dep_nodes.size();
 
   cudasim::graph_node tail;
   if (dep_nodes.size() == 1) {
@@ -140,7 +141,7 @@ void graph_backend::flush() {
   }
 
   for (const event_ptr& e : external_deps_) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+    if (auto* se = as_stream_event(e)) {
       epoch_stream_->wait_event(se->ev);
     }
   }
@@ -178,7 +179,7 @@ void graph_backend::free_device(int device, void* p, const event_list& deps,
                                 event_list& dangling) {
   bool has_graph_dep = false;
   for (const event_ptr& e : deps) {
-    if (dynamic_cast<graph_node_event*>(e.get()) != nullptr) {
+    if (as_graph_event(e) != nullptr) {
       has_graph_dep = true;
     }
   }
@@ -190,7 +191,7 @@ void graph_backend::free_device(int device, void* p, const event_list& deps,
     s.wait_event(static_cast<stream_event*>(last_epoch_done_.get())->ev);
   }
   for (const event_ptr& e : deps) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+    if (auto* se = as_stream_event(e)) {
       s.wait_event(se->ev);
     }
   }
@@ -203,7 +204,7 @@ void graph_backend::free_device(int device, void* p, const event_list& deps,
 void graph_backend::wait(const event_list& l) {
   bool has_graph_dep = false;
   for (const event_ptr& e : l) {
-    if (dynamic_cast<graph_node_event*>(e.get()) != nullptr) {
+    if (as_graph_event(e) != nullptr) {
       has_graph_dep = true;
     }
   }
@@ -214,7 +215,7 @@ void graph_backend::wait(const event_list& l) {
     }
   }
   for (const event_ptr& e : l) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+    if (auto* se = as_stream_event(e)) {
       se->ev.synchronize();
     }
   }

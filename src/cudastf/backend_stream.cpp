@@ -54,13 +54,25 @@ event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
                               const std::function<void(cudasim::stream&)>& payload,
                               std::string_view /*name*/) {
   cudasim::stream& s = pick(device, ch);
+  // Wire all dependencies with one fused join instead of one marker per
+  // event (pruned lists are tiny; 16 covers everything the STF layer emits).
+  const cudasim::event* wait_buf[16];
+  std::size_t nwait = 0;
   for (const event_ptr& e : deps) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
-      s.wait_event(se->ev);
-    } else {
+    stream_event* se = as_stream_event(e);
+    if (se == nullptr) {
       throw std::logic_error("cudastf: foreign event kind in stream backend");
     }
+    wait_buf[nwait++] = &se->ev;
+    if (nwait == sizeof(wait_buf) / sizeof(wait_buf[0])) {
+      s.wait_events(wait_buf, nwait);
+      nwait = 0;
+    }
   }
+  if (nwait != 0) {
+    s.wait_events(wait_buf, nwait);
+  }
+  stats_.deps_wired += deps.size();
   payload(s);
   auto out = std::make_shared<stream_event>(*plat_);
   out->ev.record(s);
@@ -85,7 +97,7 @@ void stream_backend::free_device(int device, void* p, const event_list& deps,
                                  event_list& dangling) {
   cudasim::stream& s = *dev_.at(static_cast<std::size_t>(device)).alloc;
   for (const event_ptr& e : deps) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+    if (auto* se = as_stream_event(e)) {
       s.wait_event(se->ev);
     }
   }
@@ -97,7 +109,7 @@ void stream_backend::free_device(int device, void* p, const event_list& deps,
 
 void stream_backend::wait(const event_list& l) {
   for (const event_ptr& e : l) {
-    if (auto* se = dynamic_cast<stream_event*>(e.get())) {
+    if (auto* se = as_stream_event(e)) {
       se->ev.synchronize();
     }
   }

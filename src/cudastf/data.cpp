@@ -198,9 +198,9 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
   event_list l;
 
   // enforce_stf: task-level ordering from data accesses (§II-B).
-  l.merge(d.last_writer);
+  st.events_pruned += l.merge(d.last_writer);
   if (mode_writes(dep.mode)) {
-    l.merge(d.readers_since_write);
+    st.events_pruned += l.merge(d.readers_since_write);
   }
 
   data_instance& inst = d.instance_at(resolved);
@@ -224,9 +224,9 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
   }
 
   // Instance-level readiness: when the instance can be read / modified.
-  l.merge(inst.writer);
+  st.events_pruned += l.merge(inst.writer);
   if (mode_writes(dep.mode)) {
-    l.merge(inst.readers);
+    st.events_pruned += l.merge(inst.readers);
     for (auto& other : d.instances()) {
       if (other.get() != &inst) {
         other->state = msi_state::invalid;
@@ -237,7 +237,7 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
   return l;
 }
 
-void release_dep(context_state& /*st*/, const task_dep_untyped& dep,
+void release_dep(context_state& st, const task_dep_untyped& dep,
                  const data_place& resolved, const event_list& done) {
   logical_data_impl& d = *dep.data;
   data_instance* inst = d.find_instance(resolved);
@@ -250,8 +250,8 @@ void release_dep(context_state& /*st*/, const task_dep_untyped& dep,
     inst->writer = done;
     inst->readers.clear();
   } else {
-    d.readers_since_write.merge(done);
-    inst->readers.merge(done);
+    st.events_pruned += d.readers_since_write.merge(done);
+    st.events_pruned += inst->readers.merge(done);
   }
   inst->pinned = false;
 }

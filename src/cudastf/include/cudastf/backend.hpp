@@ -33,6 +33,9 @@ struct backend_stats {
   std::uint64_t graph_launches = 0;
   std::uint64_t epochs = 0;
   std::uint64_t evictions = 0;  // maintained by the context allocator
+  /// Dependency events that reached the backend and had to be wired
+  /// (stream waits / graph edges). Pruned events never show up here.
+  std::uint64_t deps_wired = 0;
 };
 
 /// The abstract asynchronous substrate the STF core is written against.
@@ -159,13 +162,33 @@ class graph_backend final : public backend_iface {
 
 /// Concrete event types (exposed for tests).
 struct stream_event final : backend_event {
-  explicit stream_event(cudasim::platform& p) : ev(p) {}
+  explicit stream_event(cudasim::platform& p)
+      : backend_event(event_kind::stream), ev(p) {}
   cudasim::event ev;
+
+  bool completed() const override { return ev.query(); }
+  /// Simulated streams are in-order, so of two events recorded on the same
+  /// stream the later one dominates (§IV completed/duplicate pruning).
+  std::uint64_t lane() const override { return ev.record_stream_uid(); }
+  std::uint64_t seq() const override { return ev.record_seq(); }
 };
 
 struct graph_node_event final : backend_event {
+  graph_node_event() : backend_event(event_kind::graph_node) {}
   cudasim::graph_node node;
   std::uint64_t epoch = 0;
 };
+
+/// Tagged downcast helpers for the submission hot path (no RTTI).
+inline stream_event* as_stream_event(const event_ptr& e) {
+  return e->kind() == backend_event::event_kind::stream
+             ? static_cast<stream_event*>(e.get())
+             : nullptr;
+}
+inline graph_node_event* as_graph_event(const event_ptr& e) {
+  return e->kind() == backend_event::event_kind::graph_node
+             ? static_cast<graph_node_event*>(e.get())
+             : nullptr;
+}
 
 }  // namespace cudastf

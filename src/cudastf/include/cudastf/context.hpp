@@ -143,6 +143,10 @@ class context {
   cudasim::platform& platform() { return *st_->plat; }
   const backend_stats& stats() const { return st_->backend->stats(); }
 
+  /// Redundant dependency events pruned on the submission fast path
+  /// (duplicates, completed, same-stream dominated; see DESIGN.md).
+  std::uint64_t events_pruned() const { return st_->events_pruned; }
+
  private:
   template <class E, int R>
   cudastf::logical_data<slice<E, R>> from_ptr(E* p,

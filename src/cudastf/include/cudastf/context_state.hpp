@@ -38,6 +38,11 @@ struct context_state {
   /// LRU clock for eviction.
   std::uint64_t use_counter = 0;
 
+  /// Fast-path counter: redundant events (duplicates, completed, dominated
+  /// by a later same-stream event) pruned while building dependency lists
+  /// on the acquire/release path (§IV).
+  std::uint64_t events_pruned = 0;
+
   /// Estimated accumulated work per device (seconds), maintained by the
   /// HEFT-style automatic placement policy (§IX extension).
   std::vector<double> heft_load;

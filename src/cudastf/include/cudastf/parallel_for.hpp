@@ -167,7 +167,8 @@ class [[nodiscard]] parallel_for_builder {
     };
     event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
                                        payload, symbol_);
-    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+    const event_list done_list(std::move(done));
+    detail::release_all(*st_, resolved, deps_, done_list, seq);
   }
 
   std::shared_ptr<context_state> st_;

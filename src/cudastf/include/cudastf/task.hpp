@@ -25,6 +25,7 @@ event_list acquire_all(context_state& st, int exec_device,
                        std::index_sequence<I...>) {
   event_list ready;
   ((resolved[I] = resolve_place(std::get<I>(deps).untyped.place, exec_device),
+    st.events_pruned +=
     ready.merge(acquire_dep(st, std::get<I>(deps).untyped, resolved[I]))),
    ...);
   return ready;
@@ -107,7 +108,9 @@ class [[nodiscard]] task_builder {
     event_ptr done =
         st_->backend->run(device, backend_iface::channel::compute, ready,
                           payload, symbol_);
-    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+    // One list, moved into place — release_dep copies are refcount bumps.
+    const event_list done_list(std::move(done));
+    detail::release_all(*st_, resolved, deps_, done_list, seq);
   }
 
  private:
@@ -157,7 +160,8 @@ class [[nodiscard]] host_launch_builder {
     };
     event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
                                        payload, symbol_);
-    detail::release_all(*st_, resolved, deps_, event_list(done), seq);
+    const event_list done_list(std::move(done));
+    detail::release_all(*st_, resolved, deps_, done_list, seq);
   }
 
  private:
