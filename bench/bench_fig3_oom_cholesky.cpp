@@ -1,18 +1,27 @@
 // Fig. 3 — Cholesky decomposition on a single A100 whose memory allocator
 // is capped at 8 GB. The asynchronous eviction mechanism stages data to
 // host memory, so problems larger than the cap still complete, at a
-// graceful performance cost.
+// graceful performance cost. `--json` emits the curve as a JSON array
+// (baseline: BENCH_fig3.json at the repo root).
 #include <cstdio>
+#include <cstring>
 
 #include "blaslib/tiled_cholesky.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   constexpr std::size_t block = 1960;
   constexpr std::size_t cap = 8ull << 30;
 
-  std::printf("Fig. 3: Cholesky on one A100, device allocator capped at 8 GB\n\n");
-  std::printf("%-10s %-14s %-16s %-10s\n", "N", "matrix (GB)", "GFLOP/s",
-              "evictions");
+  if (json) {
+    std::printf("[\n");
+  } else {
+    std::printf(
+        "Fig. 3: Cholesky on one A100, device allocator capped at 8 GB\n\n");
+    std::printf("%-10s %-14s %-16s %-10s\n", "N", "matrix (GB)", "GFLOP/s",
+                "evictions");
+  }
+  bool first = true;
   for (std::size_t tiles : {8, 12, 16, 20, 24, 28}) {
     const std::size_t n = tiles * block;
     const double matrix_gb =
@@ -29,13 +38,27 @@ int main() {
     ctx.finalize();
 
     const double t = sp.get().now();
-    std::printf("%-10zu %-14.1f %-16.0f %-10llu\n", n, matrix_gb,
-                blaslib::cholesky_flops(n) / t / 1e9,
-                static_cast<unsigned long long>(ctx.stats().evictions));
+    const double gflops = blaslib::cholesky_flops(n) / t / 1e9;
+    const auto evictions =
+        static_cast<unsigned long long>(ctx.stats().evictions);
+    if (json) {
+      std::printf(
+          "%s  {\"tiles\": %zu, \"n\": %zu, \"matrix_gb\": %.1f, "
+          "\"gflops\": %.0f, \"evictions\": %llu}",
+          first ? "" : ",\n", tiles, n, matrix_gb, gflops, evictions);
+      first = false;
+    } else {
+      std::printf("%-10zu %-14.1f %-16.0f %-10llu\n", n, matrix_gb, gflops,
+                  evictions);
+    }
   }
-  std::printf(
-      "\nExpected shape: full speed while the working set fits in 8 GB,\n"
-      "then the solver keeps completing beyond the cap with eviction\n"
-      "traffic (paper Fig. 3 shows the same capped-memory curve).\n");
+  if (json) {
+    std::printf("\n]\n");
+  } else {
+    std::printf(
+        "\nExpected shape: full speed while the working set fits in 8 GB,\n"
+        "then the solver keeps completing beyond the cap with eviction\n"
+        "traffic (paper Fig. 3 shows the same capped-memory curve).\n");
+  }
   return 0;
 }

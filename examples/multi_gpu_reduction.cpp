@@ -10,11 +10,12 @@
 
 using namespace cudastf;
 
-int main() {
-  cudasim::scoped_platform machine(4, cudasim::a100_desc());
-  context ctx(machine.get());
+namespace {
 
-  constexpr std::size_t n = 1 << 22;
+// Sums 1..n with a hierarchical reduction spread over every surviving
+// device. Returns the computed sum.
+double run_reduction(cudasim::platform& machine, std::size_t n) {
+  context ctx(machine);
   std::vector<double> x(n);
   std::iota(x.begin(), x.end(), 1.0);
   double sum[1] = {0.0};
@@ -42,13 +43,37 @@ int main() {
           atomic_add(&s(0), block_sum[0]);
         }
       };
-  ctx.finalize();
+  const error_report report = ctx.finalize();
+  if (!report.ok() || report.devices_blacklisted > 0) {
+    std::printf("%s", report.to_string().c_str());
+  }
+  return sum[0];
+}
 
+}  // namespace
+
+int main() {
+  constexpr std::size_t n = 1 << 22;
   const double expect = double(n) * double(n + 1) / 2.0;
-  std::printf("sum = %.0f (expect %.0f) on %d devices\n", sum[0], expect,
+
+  cudasim::scoped_platform machine(4, cudasim::a100_desc());
+  const double sum = run_reduction(machine.get(), n);
+  std::printf("sum = %.0f (expect %.0f) on %d devices\n", sum, expect,
               machine.get().device_count());
   std::printf("simulated time: %.3f ms -> %.0f GB/s effective\n",
               machine.get().now() * 1e3,
               double(n) * 8.0 / machine.get().now() / 1e9);
-  return sum[0] == expect ? 0 : 1;
+
+  // Same reduction, but one device fail-stops mid-submission (DESIGN.md §5):
+  // the runtime blacklists it, re-grids the launch over the survivors, and
+  // the numbers still come out right.
+  cudasim::scoped_platform wounded(4, cudasim::a100_desc());
+  wounded.get().ensure_fault_injector().schedule(
+      {.kind = cudasim::fault_kind::device_fail, .device = 2, .at_op = 5});
+  std::printf("\ninjecting a device failure on device 2...\n");
+  const double sum2 = run_reduction(wounded.get(), n);
+  std::printf("sum = %.0f (expect %.0f) after losing a device\n", sum2,
+              expect);
+
+  return sum == expect && sum2 == expect ? 0 : 1;
 }

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then the
 # Table I task-overhead benchmark in JSON mode. Exits nonzero on any
-# failure. Usage: scripts/tier1.sh [build-dir]
+# failure. Usage: scripts/tier1.sh [--sanitize] [build-dir]
+#
+# --sanitize additionally builds an ASan+UBSan tree (build-asan) and runs
+# the fault-injection and eviction tests under it — the error and recovery
+# paths are where lifetime bugs would hide.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  sanitize=1
+  shift
+fi
 build="${1:-$repo/build}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
@@ -12,3 +21,15 @@ cmake -S "$repo" -B "$build"
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 "$build/bench/bench_table1_task_overhead" --json
+"$build/bench/bench_fig3_oom_cholesky" --json
+
+if [[ "$sanitize" == 1 ]]; then
+  asan_build="$repo/build-asan"
+  cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
+  cmake --build "$asan_build" -j "$jobs" \
+    --target test_fault_injection test_eviction
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_fault_injection"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_eviction"
+fi

@@ -67,6 +67,22 @@ void timeline::submit(op_node* node) {
   }
 }
 
+void timeline::abandon(op_node* node) {
+  if (node == nullptr || node->submitted) {
+    return;
+  }
+  node->body.reset();
+  node->eng = nullptr;
+  node->duration = 0.0;
+  // Successor edges wired *from* this node would decrement unmet counters of
+  // nodes that may never learn about it; submission paths wire successors
+  // only after submit(), so an abandoned node has none. Incoming edges (from
+  // stream tails) are fine: completing the marker resolves them.
+  node->succs.clear();
+  ++abandoned_;
+  submit(node);
+}
+
 void timeline::on_ready(op_node* node, timepoint t) {
   node->t_ready = t;
   if (node->eng == nullptr) {

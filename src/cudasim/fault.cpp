@@ -1,0 +1,130 @@
+#include "cudasim/fault.hpp"
+
+#include <random>
+
+#include "cudasim/platform.hpp"
+
+namespace cudasim {
+
+const char* status_name(sim_status s) {
+  switch (s) {
+    case sim_status::success:
+      return "success";
+    case sim_status::error_out_of_memory:
+      return "error_out_of_memory";
+    case sim_status::error_launch_failed:
+      return "error_launch_failed";
+    case sim_status::error_link_transient:
+      return "error_link_transient";
+    case sim_status::error_device_lost:
+      return "error_device_lost";
+  }
+  return "unknown";
+}
+
+const char* fault_kind_name(fault_kind k) {
+  switch (k) {
+    case fault_kind::alloc_fail:
+      return "alloc_fail";
+    case fault_kind::kernel_fault:
+      return "kernel_fault";
+    case fault_kind::link_error:
+      return "link_error";
+    case fault_kind::device_fail:
+      return "device_fail";
+  }
+  return "unknown";
+}
+
+void fault_injector::schedule_random(std::uint64_t seed, int n_faults,
+                                     std::uint64_t op_span, int num_devices,
+                                     bool allow_device_fail) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> op_dist(1, op_span);
+  std::uniform_int_distribution<int> dev_dist(0, num_devices - 1);
+  std::uniform_int_distribution<int> kind_dist(0, allow_device_fail ? 7 : 5);
+  for (int i = 0; i < n_faults; ++i) {
+    fault_event ev;
+    switch (kind_dist(rng)) {
+      case 0:
+      case 1:
+        ev.kind = fault_kind::kernel_fault;
+        break;
+      case 2:
+      case 3:
+        ev.kind = fault_kind::link_error;
+        break;
+      case 4:
+      case 5:
+        ev.kind = fault_kind::alloc_fail;
+        break;
+      default:
+        ev.kind = fault_kind::device_fail;
+        break;
+    }
+    ev.device = dev_dist(rng);
+    ev.at_op = op_dist(rng);
+    pending_.push_back(ev);
+  }
+}
+
+sim_status fault_injector::on_op(op_category cat, int device, double now,
+                                 platform& p) {
+  ++op_index_;
+  // Pass 1: whole-device failures are side effects independent of the op's
+  // category; every due one fires, so a device_fail cannot be starved by an
+  // earlier transient in the schedule.
+  for (std::size_t i = 0; i < pending_.size();) {
+    const fault_event& ev = pending_[i];
+    const bool due = ev.kind == fault_kind::device_fail &&
+                     (ev.at_time >= 0.0 ? now >= ev.at_time
+                                        : op_index_ >= ev.at_op);
+    if (due) {
+      const int victim = ev.device < 0 ? 0 : ev.device;
+      log_.push_back({fault_kind::device_fail, victim, op_index_, now});
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      p.fail_device(victim);
+    } else {
+      ++i;
+    }
+  }
+  // Pass 2: at most one transient fault fires per submission, the earliest
+  // scheduled matching one (stable order keeps replays deterministic).
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const fault_event& ev = pending_[i];
+    if (ev.at_time >= 0.0 || op_index_ < ev.at_op) {
+      continue;
+    }
+    if (ev.device >= 0 && ev.device != device) {
+      continue;
+    }
+    sim_status st = sim_status::success;
+    switch (ev.kind) {
+      case fault_kind::alloc_fail:
+        if (cat == op_category::alloc) {
+          st = sim_status::error_out_of_memory;
+        }
+        break;
+      case fault_kind::kernel_fault:
+        if (cat == op_category::kernel) {
+          st = sim_status::error_launch_failed;
+        }
+        break;
+      case fault_kind::link_error:
+        if (cat == op_category::copy) {
+          st = sim_status::error_link_transient;
+        }
+        break;
+      case fault_kind::device_fail:
+        break;  // handled in pass 1
+    }
+    if (st != sim_status::success) {
+      log_.push_back({ev.kind, device, op_index_, now});
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return st;
+    }
+  }
+  return sim_status::success;
+}
+
+}  // namespace cudasim

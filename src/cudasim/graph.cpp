@@ -146,6 +146,29 @@ void graph_exec::launch(stream& s) {
     throw std::logic_error("cudasim: launching an exec graph during capture");
   }
   std::lock_guard lock(plat_->mutex());
+  if (plat_->faults_armed()) {
+    // One whole-graph launch counts as a single kernel-category submission
+    // for the fault injector; a refused launch enqueues none of the nodes.
+    const sim_status injected =
+        plat_->poll_faults_locked(op_category::kernel, s.device());
+    if (s.status() != sim_status::success) {
+      return;
+    }
+    bool dead = plat_->device(s.device()).failed();
+    for (const graph::node& n : nodes_) {
+      dead = dead || (n.device >= 0 && plat_->device(n.device).failed());
+    }
+    if (dead) {
+      s.set_status(sim_status::error_device_lost);
+      return;
+    }
+    if (injected != sim_status::success) {
+      s.set_status(injected);
+      return;
+    }
+  } else if (s.status() != sim_status::success) {
+    return;
+  }
   timeline& tl = plat_->tl();
   std::vector<op_node*> created(nodes_.size(), nullptr);
   std::vector<bool> has_succ(nodes_.size(), false);

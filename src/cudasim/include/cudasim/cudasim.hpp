@@ -3,6 +3,7 @@
 
 #include "cudasim/des.hpp"
 #include "cudasim/device.hpp"
+#include "cudasim/fault.hpp"
 #include "cudasim/graph.hpp"
 #include "cudasim/platform.hpp"
 #include "cudasim/stream.hpp"

@@ -244,6 +244,14 @@ class timeline {
   /// Hands the node to the scheduler. All deps must be wired already.
   void submit(op_node* node);
 
+  /// Exception-safety valve for submission paths: turns a created (and
+  /// possibly half-wired) node into an inert zero-duration marker and
+  /// submits it. The DAG stays drainable, predecessors that already hold an
+  /// edge to the node resolve normally, and the node returns to the slab
+  /// pool through the usual gc() route instead of leaking. Counted in
+  /// nodes_abandoned().
+  void abandon(op_node* node);
+
   /// Runs the simulation until every submitted node has completed.
   void drain();
 
@@ -267,6 +275,9 @@ class timeline {
   /// Nodes served from the recycle pool instead of fresh slab space
   /// (fast-path perf counter).
   std::uint64_t nodes_pooled() const { return pooled_; }
+
+  /// Nodes neutralized by abandon() after a submission-path exception.
+  std::uint64_t nodes_abandoned() const { return abandoned_; }
 
  private:
   struct pending_event {
@@ -312,6 +323,7 @@ class timeline {
   std::uint64_t completed_ = 0;
   std::uint64_t live_ = 0;  ///< submitted but not completed
   std::uint64_t pooled_ = 0;
+  std::uint64_t abandoned_ = 0;
 };
 
 }  // namespace cudasim

@@ -13,6 +13,7 @@
 
 #include "cudasim/des.hpp"
 #include "cudasim/device.hpp"
+#include "cudasim/fault.hpp"
 
 namespace cudasim {
 
@@ -57,6 +58,11 @@ class device_state {
   /// Overrides the pool capacity (used by the Fig. 3 experiment).
   void set_pool_capacity(std::size_t bytes) { desc_.mem_capacity = bytes; }
 
+  /// Fail-stop flag: once set the device accepts no new kernels, copies
+  /// (except evacuating device-to-host reads) or allocations. Work already
+  /// submitted still completes — the model is fail-stop *at submission*.
+  bool failed() const { return failed_; }
+
  private:
   friend class platform;
   int index_;
@@ -65,6 +71,7 @@ class device_state {
   engine copy_in_{engine_kind::copy_in};
   engine copy_out_{engine_kind::copy_out};
   std::size_t pool_used_ = 0;
+  bool failed_ = false;
   /// Buffers handed out by malloc_async; maps base pointer -> size.
   std::unordered_map<void*, std::size_t> live_allocs_;
 };
@@ -125,6 +132,36 @@ class platform {
 
   std::uint64_t ops_completed() const { return tl_.completed_count(); }
 
+  // --- fault injection / failure model (see DESIGN.md §5) ---
+
+  /// Installs (or replaces) the platform's fault injector. The platform
+  /// owns it; pass nullptr to disarm.
+  void set_fault_injector(std::shared_ptr<fault_injector> fi);
+  /// Creates an injector if none is installed and returns it for scheduling.
+  fault_injector& ensure_fault_injector();
+  fault_injector* injector() const { return injector_.get(); }
+  bool has_injector() const { return injector_ != nullptr; }
+
+  /// Marks a device as permanently failed (fail-stop at submission). Also
+  /// fired by the injector on device_fail events. Idempotent.
+  void fail_device(int dev);
+  bool device_failed(int dev) const;
+
+  /// True once an injector is installed or any device has failed. The
+  /// submission paths skip all fault bookkeeping while this is false, so a
+  /// fault-free platform pays one predictable branch per op.
+  bool faults_armed() const { return faults_armed_; }
+
+  /// True exactly once after an injected alloc_fail made malloc_async
+  /// return nullptr. Lets allocators distinguish the injected (transient,
+  /// retryable) failure from genuine pool exhaustion — matching CUDA, where
+  /// a cudaMallocAsync OOM is returned but not sticky.
+  bool consume_injected_alloc_failure();
+
+  /// Enqueues a pure delay of `seconds` virtual time on the stream (no
+  /// engine occupancy). Used for exponential-backoff task retries.
+  void stream_delay(stream& s, double seconds);
+
   /// DES nodes recycled through the timeline's slab pool (fast-path
   /// perf counter; see DESIGN.md "Host-side fast path").
   std::uint64_t nodes_pooled() const { return tl_.nodes_pooled(); }
@@ -162,6 +199,11 @@ class platform {
   void collect_handles();
   double host_memcpy_bw() const { return 50.0e9; }
 
+  /// Accounts one submission with the injector (if armed) and returns the
+  /// injected status. Must be called with the platform mutex held; shared
+  /// by the stream submission paths and graph_exec::launch.
+  sim_status poll_faults_locked(op_category cat, int device);
+
  private:
   /// Bounds simulator memory: once too many live ops accumulate, drain the
   /// timeline (virtual timestamps are unaffected — everything submitted is
@@ -176,6 +218,10 @@ class platform {
   bool copy_payloads_ = true;
   std::unordered_set<stream*> streams_;
   std::unordered_set<event*> events_;
+  std::shared_ptr<fault_injector> injector_;
+  bool alloc_fault_pending_ = false;
+  bool faults_armed_ = false;
+  bool any_device_failed_ = false;
 };
 
 /// Process-wide default platform management. Tests and benches typically

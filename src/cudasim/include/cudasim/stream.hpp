@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cudasim/des.hpp"
+#include "cudasim/fault.hpp"
 
 namespace cudasim {
 
@@ -33,6 +34,15 @@ class stream {
   /// layer to prune events dominated by a later event on the same stream
   /// (paper §IV: in-order streams make the later event a superset).
   std::uint64_t uid() const { return uid_; }
+
+  /// Sticky CUDA-style error state. A fault injected on a submission marks
+  /// the stream; while marked, further kernel/copy/alloc submissions are
+  /// refused without side effects (work submitted *before* the fault still
+  /// completes). The caller observes the code here and acknowledges it with
+  /// clear_status() — mirroring cudaStreamQuery + cudaGetLastError.
+  sim_status status() const { return status_; }
+  void set_status(sim_status s) { status_ = s; }
+  void clear_status() { status_ = sim_status::success; }
 
   /// Makes future work on this stream wait for `e` (cudaStreamWaitEvent).
   void wait_event(const event& e);
@@ -72,6 +82,7 @@ class stream {
   std::uint64_t record_seq_ = 0;
   op_node* last_ = nullptr;
   graph* capture_ = nullptr;
+  sim_status status_ = sim_status::success;
 };
 
 /// A marker in a stream's work queue (cudaEvent_t).

@@ -78,20 +78,42 @@ void set_capture_tail(stream& s, graph_node n) {
 
 void platform::launch_kernel(stream& s, const kernel_desc& k,
                              std::function<void()> body, bool graph_launched) {
+  std::lock_guard lock(mu_);
+  if (faults_armed_) {
+    const sim_status injected =
+        poll_faults_locked(op_category::kernel, s.device());
+    if (s.status() != sim_status::success) {
+      return;  // sticky: refused until the caller clears the stream status
+    }
+    if (device(s.device()).failed()) {
+      s.set_status(sim_status::error_device_lost);
+      return;
+    }
+    if (injected != sim_status::success) {
+      s.set_status(injected);
+      return;
+    }
+  } else if (s.status() != sim_status::success) {
+    return;  // sticky even when set without an injector
+  }
   if (s.capturing()) {
     graph* g = s.capture_graph();
     set_capture_tail(
         s, g->add_kernel_node(capture_deps(s), s.device(), k, std::move(body)));
     return;
   }
-  std::lock_guard lock(mu_);
   device_state& dev = device(s.device());
   const double latency =
       graph_launched ? dev.desc().graph_node_latency : dev.desc().launch_latency;
   const double dur = latency + kernel_cost_seconds(dev.desc(), k);
   op_node* n = tl_.make_node(k.name, s.device(), &dev.compute(), dur,
                              std::move(body));
-  timeline::add_dep(s.last(), n);
+  try {
+    timeline::add_dep(s.last(), n);
+  } catch (...) {
+    tl_.abandon(n);
+    throw;
+  }
   s.set_last(n);
   tl_.submit(n);
   maybe_drain_locked();
@@ -125,13 +147,33 @@ platform::copy_plan platform::plan_copy(int devidx, std::size_t n,
 
 void platform::memcpy_async(void* dst, const void* src, std::size_t n,
                             memcpy_kind kind, stream& s) {
+  std::lock_guard lock(mu_);
+  if (faults_armed_) {
+    const sim_status injected =
+        poll_faults_locked(op_category::copy, s.device());
+    if (s.status() != sim_status::success) {
+      return;
+    }
+    // Fail-stop at submission, with an evacuation grace: copies *out* of a
+    // failed device toward the host stay possible (modelling graceful
+    // decommissioning), so the runtime can rescue sole modified copies.
+    if (device(s.device()).failed() && kind != memcpy_kind::device_to_host) {
+      s.set_status(sim_status::error_device_lost);
+      return;
+    }
+    if (injected != sim_status::success) {
+      s.set_status(injected);
+      return;
+    }
+  } else if (s.status() != sim_status::success) {
+    return;
+  }
   if (s.capturing()) {
     graph* g = s.capture_graph();
     set_capture_tail(
         s, g->add_memcpy_node(capture_deps(s), dst, src, n, kind, s.device()));
     return;
   }
-  std::lock_guard lock(mu_);
   const copy_plan plan = plan_copy(s.device(), n, kind);
   task_fn body;
   if (copy_payloads_) {
@@ -143,13 +185,39 @@ void platform::memcpy_async(void* dst, const void* src, std::size_t n,
   }
   op_node* node =
       tl_.make_node("memcpy", s.device(), plan.eng, plan.seconds, std::move(body));
-  timeline::add_dep(s.last(), node);
+  try {
+    timeline::add_dep(s.last(), node);
+  } catch (...) {
+    tl_.abandon(node);
+    throw;
+  }
   s.set_last(node);
   tl_.submit(node);
   maybe_drain_locked();
 }
 
 void* platform::malloc_async(std::size_t bytes, stream& s) {
+  std::lock_guard lock(mu_);
+  if (faults_armed_) {
+    const sim_status injected =
+        poll_faults_locked(op_category::alloc, s.device());
+    if (s.status() != sim_status::success) {
+      return nullptr;
+    }
+    if (device(s.device()).failed()) {
+      // Like genuine exhaustion this is a plain refusal, not a sticky error;
+      // the caller distinguishes via platform::device_failed().
+      return nullptr;
+    }
+    if (injected == sim_status::error_out_of_memory) {
+      // cudaMallocAsync OOM is returned, not sticky. Flag it so allocators
+      // can tell the injected transient from genuine exhaustion and retry.
+      alloc_fault_pending_ = true;
+      return nullptr;
+    }
+  } else if (s.status() != sim_status::success) {
+    return nullptr;
+  }
   if (s.capturing()) {
     void* out = nullptr;
     graph* g = s.capture_graph();
@@ -159,7 +227,6 @@ void* platform::malloc_async(std::size_t bytes, stream& s) {
     }
     return out;
   }
-  std::lock_guard lock(mu_);
   device_state& dev = device(s.device());
   if (dev.pool_used_ + bytes > dev.pool_capacity()) {
     return nullptr;  // pool exhausted; caller reacts (eviction, etc.)
@@ -274,6 +341,64 @@ void platform::launch_host_func(stream& s, std::function<void()> fn,
   maybe_drain_locked();
 }
 
+
+void platform::set_fault_injector(std::shared_ptr<fault_injector> fi) {
+  std::lock_guard lock(mu_);
+  injector_ = std::move(fi);
+  faults_armed_ = injector_ != nullptr || any_device_failed_;
+}
+
+fault_injector& platform::ensure_fault_injector() {
+  std::lock_guard lock(mu_);
+  if (!injector_) {
+    injector_ = std::make_shared<fault_injector>();
+  }
+  faults_armed_ = true;
+  return *injector_;
+}
+
+sim_status platform::poll_faults_locked(op_category cat, int device) {
+  if (!injector_) {
+    return sim_status::success;
+  }
+  return injector_->on_op(cat, device, tl_.now(), *this);
+}
+
+void platform::fail_device(int dev) {
+  std::lock_guard lock(mu_);
+  device(dev).failed_ = true;
+  any_device_failed_ = true;
+  faults_armed_ = true;
+}
+
+bool platform::device_failed(int dev) const {
+  std::lock_guard lock(mu_);
+  return device(dev).failed_;
+}
+
+bool platform::consume_injected_alloc_failure() {
+  std::lock_guard lock(mu_);
+  const bool was = alloc_fault_pending_;
+  alloc_fault_pending_ = false;
+  return was;
+}
+
+void platform::stream_delay(stream& s, double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  if (s.capturing()) {
+    // No-op during capture: a backoff node would change the captured graph
+    // topology (breaking exec-graph memoization) and confuse the backends'
+    // partial-submission detection, which compares capture tails.
+    return;
+  }
+  std::lock_guard lock(mu_);
+  op_node* node = tl_.make_node("retryBackoff", s.device(), nullptr, seconds);
+  timeline::add_dep(s.last(), node);
+  s.set_last(node);
+  tl_.submit(node);
+}
 
 void platform::maybe_drain_locked() {
   if (tl_.live_count() > 100000) {

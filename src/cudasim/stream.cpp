@@ -37,7 +37,8 @@ stream::stream(stream&& other) noexcept
       uid_(other.uid_),
       record_seq_(other.record_seq_),
       last_(other.last_),
-      capture_(other.capture_) {
+      capture_(other.capture_),
+      status_(other.status_) {
   capture_tail_ = other.capture_tail_;
   std::lock_guard lock(plat_->mutex());
   plat_->unregister_stream(&other);

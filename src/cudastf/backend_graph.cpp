@@ -63,7 +63,7 @@ void graph_backend::ensure_epoch() {
 
 event_ptr graph_backend::run(int device, channel ch, const event_list& deps,
                              const std::function<void(cudasim::stream&)>& payload,
-                             std::string_view name) {
+                             std::string_view name, run_result* rr) {
   ensure_epoch();
   cudasim::stream& s =
       ch == channel::host ? *host_capture_
@@ -95,9 +95,30 @@ event_ptr graph_backend::run(int device, channel ch, const event_list& deps,
   payload(s);
   const cudasim::graph_node out = get_tail(s);
 
-  summary_ = fnv_str(summary_, name);
-  summary_ = fnv_mix(summary_, deps.size());
-  summary_ = fnv_mix(summary_, static_cast<std::uint64_t>(device) + 3);
+  // Fault harvesting: a refused capture-time submission leaves a sticky
+  // status on the capture stream and records nothing. If the capture tail
+  // moved anyway, a prefix of the payload was recorded (partial).
+  const cudasim::sim_status st = s.status();
+  const bool moved =
+      out.valid() != tail.valid() || (out.valid() && out.index != tail.index);
+  if (st != cudasim::sim_status::success) {
+    s.clear_status();
+    if (rr != nullptr) {
+      rr->status = st;
+      rr->partial = moved;
+    }
+  } else if (rr != nullptr) {
+    rr->status = cudasim::sim_status::success;
+    rr->partial = false;
+  }
+
+  // A clean refusal recorded nothing, so the epoch topology is unchanged —
+  // keep it out of the memoization summary too.
+  if (st == cudasim::sim_status::success || moved) {
+    summary_ = fnv_str(summary_, name);
+    summary_ = fnv_mix(summary_, deps.size());
+    summary_ = fnv_mix(summary_, static_cast<std::uint64_t>(device) + 3);
+  }
   ++stats_.tasks;
 
   if (!out.valid()) {

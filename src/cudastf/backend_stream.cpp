@@ -52,7 +52,7 @@ cudasim::stream& stream_backend::pick(int device, channel ch) {
 
 event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
                               const std::function<void(cudasim::stream&)>& payload,
-                              std::string_view /*name*/) {
+                              std::string_view /*name*/, run_result* rr) {
   cudasim::stream& s = pick(device, ch);
   // Wire all dependencies with one fused join instead of one marker per
   // event (pruned lists are tiny; 16 covers everything the STF layer emits).
@@ -73,7 +73,27 @@ event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
     s.wait_events(wait_buf, nwait);
   }
   stats_.deps_wired += deps.size();
+  // Snapshot the stream tail after dep wiring so a fault status set during
+  // the payload can be classified: tail unchanged (or only a pure marker
+  // such as the retry-backoff node, eng == nullptr) means the refusal was
+  // clean and the submission can be retried; a real op at the tail means a
+  // prefix of the payload executed and retry would double-run it.
+  cudasim::op_node* before = s.last();
   payload(s);
+  const cudasim::sim_status st = s.status();
+  if (st != cudasim::sim_status::success) {
+    // Always clear: pooled streams are reused by unrelated tasks, and a
+    // stale sticky status would silently refuse their submissions.
+    s.clear_status();
+    if (rr != nullptr) {
+      cudasim::op_node* after = s.last();
+      rr->status = st;
+      rr->partial = after != before && after != nullptr && after->eng != nullptr;
+    }
+  } else if (rr != nullptr) {
+    rr->status = cudasim::sim_status::success;
+    rr->partial = false;
+  }
   auto out = std::make_shared<stream_event>(*plat_);
   out->ev.record(s);
   ++stats_.tasks;

@@ -104,14 +104,22 @@ data_impl_ptr context::register_impl(std::vector<std::size_t> extents,
   return impl;
 }
 
-void context::finalize() {
+error_report context::finalize() {
   std::unique_lock lock(st_->mu);
   // Write every host-backed logical data back to its original location;
-  // the copies overlap with remaining device work (§II-B).
+  // the copies overlap with remaining device work (§II-B). Poisoned data
+  // is skipped inside write_back_host; a write-back that itself fails is
+  // recorded as data_lost instead of crashing the epilogue (§5).
   event_list pending;
   for (auto& w : st_->registry) {
     if (auto d = w.lock()) {
-      pending.merge(write_back_host(*st_, *d));
+      try {
+        pending.merge(write_back_host(*st_, *d));
+      } catch (const std::exception& e) {
+        d->poisoned_by = st_->record_failure(
+            failure_kind::data_lost, d->name(), -1, 1,
+            std::string("write-back failed: ") + e.what());
+      }
     }
   }
   pending.merge(st_->dangling);
@@ -120,6 +128,7 @@ void context::finalize() {
   st_->backend->wait(pending);
   st_->backend->wait_idle();
   st_->sweep_registry();
+  return st_->report;
 }
 
 }  // namespace cudastf

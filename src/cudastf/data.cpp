@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "cudastf/context_state.hpp"
+#include "cudastf/error.hpp"
 #include "cudastf/partition.hpp"
+#include "cudastf/recover.hpp"
 
 namespace cudastf {
 
@@ -82,8 +84,6 @@ void logical_data_impl::pin_all(bool pinned) {
   }
 }
 
-namespace {
-
 /// Picks the instance to copy from: a modified copy if one exists,
 /// otherwise any valid (shared) copy.
 data_instance* pick_valid_source(logical_data_impl& d,
@@ -100,6 +100,8 @@ data_instance* pick_valid_source(logical_data_impl& d,
   }
   return shared_src;
 }
+
+namespace {
 
 struct copy_route {
   cudasim::memcpy_kind kind;
@@ -132,7 +134,14 @@ copy_route route_copy(const data_place& src, const data_place& dst) {
   return {cudasim::memcpy_kind::device_to_device, s};
 }
 
+}  // namespace
+
 /// Issues the asynchronous transfer making `dst` a valid copy of `src`.
+/// In fault-aware mode transient link faults are retried under the
+/// context's backoff policy; MSI state is only mutated once the transfer
+/// was accepted, so a failed copy leaves the protocol state untouched.
+/// Throws detail::device_lost_error / detail::transfer_error on permanent
+/// failure.
 event_ptr issue_copy(context_state& st, logical_data_impl& d,
                      data_instance& src, data_instance& dst) {
   event_list deps;
@@ -144,13 +153,40 @@ event_ptr issue_copy(context_state& st, logical_data_impl& d,
   const void* from = src.ptr;
   const std::size_t n = d.bytes();
   cudasim::platform* plat = st.plat;
-  event_ptr ev = st.backend->run(
-      route.run_device < 0 ? 0 : route.run_device, backend_iface::channel::transfer,
-      deps,
+  const int run_dev = route.run_device < 0 ? 0 : route.run_device;
+  std::function<void(cudasim::stream&)> payload =
       [plat, to, from, n, route](cudasim::stream& s) {
         plat->memcpy_async(to, from, n, route.kind, s);
-      },
-      "transfer");
+      };
+  event_ptr ev;
+  if (!st.fault_aware()) {
+    ev = st.backend->run(run_dev, backend_iface::channel::transfer, deps,
+                         payload, "transfer");
+  } else {
+    run_result rr;
+    double backoff = st.retry.backoff_seconds;
+    for (int attempt = 1;; ++attempt) {
+      ev = st.backend->run(run_dev, backend_iface::channel::transfer, deps,
+                           payload, "transfer", &rr);
+      if (rr.status == cudasim::sim_status::success) {
+        break;
+      }
+      if (rr.status == cudasim::sim_status::error_device_lost) {
+        throw detail::device_lost_error(route.run_device);
+      }
+      if (!cudasim::status_transient(rr.status) ||
+          attempt >= st.retry.max_attempts) {
+        throw detail::transfer_error(rr.status);
+      }
+      ++st.report.tasks_retried;
+      const double b = backoff;
+      backoff *= st.retry.backoff_multiplier;
+      payload = [plat, to, from, n, route, b](cudasim::stream& s) {
+        plat->stream_delay(s, b);
+        plat->memcpy_async(to, from, n, route.kind, s);
+      };
+    }
+  }
   src.readers.add(ev);
   dst.writer = event_list(ev);
   dst.readers.clear();
@@ -161,6 +197,8 @@ event_ptr issue_copy(context_state& st, logical_data_impl& d,
   return ev;
 }
 
+namespace {
+
 /// Allocates backing for `inst` (device pool with eviction, plain host
 /// memory, or a page-mapped VMM reservation for composite places). The
 /// allocation event, if any, is recorded as the instance's writer.
@@ -169,8 +207,13 @@ void allocate_instance(context_state& st, logical_data_impl& d,
   event_list alloc_events;
   switch (inst.place.type()) {
     case data_place::kind::device:
-      inst.ptr = st.alloc_with_eviction(inst.place.device_index(), d.bytes(),
-                                        alloc_events);
+      try {
+        inst.ptr = st.alloc_with_eviction(inst.place.device_index(), d.bytes(),
+                                          alloc_events);
+      } catch (oom_error& e) {
+        e.set_data_name(d.name());  // only this frame knows the logical data
+        throw;
+      }
       break;
     case data_place::kind::host:
       inst.ptr = ::operator new(d.bytes());
@@ -257,6 +300,9 @@ void release_dep(context_state& st, const task_dep_untyped& dep,
 }
 
 event_list write_back_host(context_state& st, logical_data_impl& d) {
+  if (d.poisoned_by != 0) {
+    return {};  // poisoned data is never written back (§5)
+  }
   data_instance* host = d.find_instance(data_place::host());
   if (host == nullptr || !host->allocated) {
     return {};  // no original host location: nothing to write back
@@ -274,9 +320,17 @@ event_list write_back_host(context_state& st, logical_data_impl& d) {
 
 logical_data_impl::~logical_data_impl() {
   std::lock_guard lock(st_->mu);
-  // Write back to the application's memory before device copies vanish.
-  event_list wb = write_back_host(*st_, *this);
-  st_->dangling.merge(wb);
+  // Write back to the application's memory before device copies vanish. A
+  // failing write-back is recorded as data_lost, never thrown (§5) — a
+  // destructor must not propagate.
+  try {
+    event_list wb = write_back_host(*st_, *this);
+    st_->dangling.merge(wb);
+  } catch (const std::exception& e) {
+    poisoned_by = st_->record_failure(
+        failure_kind::data_lost, name_, -1, 1,
+        std::string("write-back failed: ") + e.what());
+  }
   for (auto& inst : instances_) {
     if (!inst->allocated || inst->user_owned) {
       continue;
@@ -331,10 +385,13 @@ int pick_heft_device(context_state& st, const task_dep_untyped* const* deps,
   if (st.heft_load.size() != static_cast<std::size_t>(ndev)) {
     st.heft_load.assign(static_cast<std::size_t>(ndev), 0.0);
   }
-  int best = 0;
+  int best = -1;
   double best_finish = 0.0;
   double best_work = 0.0;
   for (int d = 0; d < ndev; ++d) {
+    if (st.device_blacklisted(d)) {
+      continue;  // never place new work on a failed device
+    }
     const cudasim::device_state& dev = st.plat->device(d);
     double transfer = 0.0;
     double work = 5.0e-6;  // fixed per-task floor (launch latency scale)
@@ -350,13 +407,16 @@ int pick_heft_device(context_state& st, const task_dep_untyped* const* deps,
       }
     }
     const double finish = st.heft_load[static_cast<std::size_t>(d)] + transfer + work;
-    if (d == 0 || finish < best_finish) {
+    if (best < 0 || finish < best_finish) {
       best = d;
       best_finish = finish;
       // Only execution time is charged to the device: the transfer is a
       // one-time cost on the copy engine, not recurring compute load.
       best_work = work;
     }
+  }
+  if (best < 0) {
+    return 0;  // all devices failed: the submission path reports it
   }
   st.heft_load[static_cast<std::size_t>(best)] += best_work;
   return best;
@@ -370,9 +430,23 @@ void context_state::sweep_registry() {
 
 void* context_state::alloc_with_eviction(int device, std::size_t bytes,
                                          event_list& out) {
+  if (plat->device_failed(device)) {
+    // The pool of a failed device would hand out nullptr forever; report
+    // the loss so the submission path re-routes instead of evicting.
+    throw detail::device_lost_error(device);
+  }
   for (;;) {
     if (void* p = backend->alloc_device(device, bytes, out)) {
       return p;
+    }
+    if (plat->consume_injected_alloc_failure()) {
+      // Injected cudaMallocAsync-style failure: not sticky, absorbed by
+      // simply retrying the allocation (§5).
+      ++report.alloc_retries;
+      continue;
+    }
+    if (plat->device_failed(device)) {
+      throw detail::device_lost_error(device);  // died mid-eviction loop
     }
     // Pool exhausted: pick the least-recently-used unpinned device instance
     // on this device and evict it (staging modified data to the host
@@ -397,7 +471,8 @@ void* context_state::alloc_with_eviction(int device, std::size_t bytes,
       }
     }
     if (victim == nullptr) {
-      throw std::bad_alloc();
+      const auto& dev = plat->device(device);
+      throw oom_error(device, bytes, dev.pool_capacity() - dev.pool_used());
     }
 
     event_list free_deps;

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "cudastf/error.hpp"
+
 namespace cudastf {
 
 namespace {
@@ -77,7 +79,7 @@ void* thread_hierarchy::scratch_bytes(std::size_t bytes, std::size_t align) {
   std::size_t& off = scratch_off_[static_cast<std::size_t>(level_)];
   off = (off + align - 1) / align * align;
   if (off + bytes > scratch_capacity) {
-    throw std::bad_alloc();
+    throw scratch_oom_error(bytes, off, scratch_capacity);
   }
   void* p = arena + off;
   off += bytes;

@@ -38,6 +38,17 @@ struct backend_stats {
   std::uint64_t deps_wired = 0;
 };
 
+/// Outcome of one run() submission (DESIGN.md §5). The platform never
+/// throws for injected/device faults; it refuses the submission and sticks a
+/// status on the stream. run() harvests (and clears) that status here.
+struct run_result {
+  cudasim::sim_status status = cudasim::sim_status::success;
+  /// True when the payload enqueued real work before the fault hit, i.e. a
+  /// prefix of a multi-op payload executed. Such a submission must not be
+  /// retried (the prefix would run twice); only clean refusals are retried.
+  bool partial = false;
+};
+
 /// The abstract asynchronous substrate the STF core is written against.
 /// Every operation takes a list of input events and returns the event that
 /// signals its completion (§IV-B).
@@ -52,9 +63,14 @@ class backend_iface {
   /// Schedules `payload` after `deps`. The payload receives a stream bound
   /// to `device` (ignored for the host channel) and submits asynchronous
   /// work to it; it must not block. Returns the completion event.
+  /// When `rr` is non-null the submission stream's sticky fault status is
+  /// harvested into it (and cleared from the stream, since pooled streams
+  /// are reused across unrelated tasks); with rr == nullptr a fault status
+  /// is still cleared but otherwise ignored, preserving the fault-free
+  /// fast path.
   virtual event_ptr run(int device, channel ch, const event_list& deps,
                         const std::function<void(cudasim::stream&)>& payload,
-                        std::string_view name) = 0;
+                        std::string_view name, run_result* rr = nullptr) = 0;
 
   /// Stream-ordered device allocation. Returns nullptr when the device pool
   /// is exhausted (the caller reacts, e.g. by evicting). On success appends
@@ -96,7 +112,7 @@ class stream_backend final : public backend_iface {
   cudasim::platform& plat() override { return *plat_; }
   event_ptr run(int device, channel ch, const event_list& deps,
                 const std::function<void(cudasim::stream&)>& payload,
-                std::string_view name) override;
+                std::string_view name, run_result* rr = nullptr) override;
   void* alloc_device(int device, std::size_t bytes, event_list& out) override;
   void free_device(int device, void* p, const event_list& deps,
                    event_list& dangling) override;
@@ -131,7 +147,7 @@ class graph_backend final : public backend_iface {
   cudasim::platform& plat() override { return *plat_; }
   event_ptr run(int device, channel ch, const event_list& deps,
                 const std::function<void(cudasim::stream&)>& payload,
-                std::string_view name) override;
+                std::string_view name, run_result* rr = nullptr) override;
   void* alloc_device(int device, std::size_t bytes, event_list& out) override;
   void free_device(int device, void* p, const event_list& deps,
                    event_list& dangling) override;

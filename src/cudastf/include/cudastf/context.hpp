@@ -131,8 +131,31 @@ class context {
 
   /// Waits for all pending operations — tasks, transfers, destructions —
   /// and writes every host-backed logical data back to its original
-  /// location (§II-B).
-  void finalize();
+  /// location (§II-B). Returns the context's structured error report
+  /// (DESIGN.md §5): report.ok() on a fault-free run; otherwise the
+  /// recorded failures with their cause chains and recovery counters.
+  /// Poisoned logical data is never written back.
+  error_report finalize();
+
+  // --- error model (DESIGN.md §5) ---
+
+  /// Retry policy for transiently-failed submissions (attempts, exponential
+  /// virtual-time backoff).
+  void set_retry_policy(const retry_policy& p) {
+    std::lock_guard lock(st_->mu);
+    st_->retry = p;
+  }
+
+  /// The failures and recovery counters accumulated so far.
+  const error_report& report() const { return st_->report; }
+
+  /// Marks a device as permanently failed: modified sole copies are
+  /// evacuated to the host while device-to-host copies are still allowed,
+  /// then future work is re-routed to the surviving devices.
+  void blacklist_device(int device) {
+    std::lock_guard lock(st_->mu);
+    st_->blacklist_device(device);
+  }
 
   // --- configuration & introspection ---
 

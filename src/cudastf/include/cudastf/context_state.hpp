@@ -3,12 +3,15 @@
 // backend to talk to (§IV-D).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "cudasim/cudasim.hpp"
 #include "cudastf/backend.hpp"
+#include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
 
 namespace cudastf {
@@ -49,11 +52,54 @@ struct context_state {
 
   /// Allocates a device instance buffer, evicting least-recently-used
   /// unpinned instances from the device if the pool is full.
-  /// Appends allocation-completion events to `out`; throws std::bad_alloc
-  /// if nothing can be evicted.
+  /// Appends allocation-completion events to `out`; throws oom_error
+  /// (derives std::bad_alloc) if nothing can be evicted.
   void* alloc_with_eviction(int device, std::size_t bytes, event_list& out);
 
   void sweep_registry();
+
+  // --- error model / fault recovery (DESIGN.md §5) ---
+
+  /// Context-wide retry policy for transiently-failed submissions.
+  retry_policy retry;
+
+  /// Accumulated failures + recovery counters, returned by ctx.finalize().
+  error_report report;
+
+  /// Per-device blacklist flags (1 = permanently failed, do not submit).
+  std::vector<std::uint8_t> blacklisted;
+
+  /// Set once any failure has been recorded; together with an armed fault
+  /// injector this routes submissions through the recovery slow path.
+  bool recovery_active = false;
+
+  /// True when submissions must take the fault-aware slow path. Fault-free
+  /// runs with no injector keep the exact pre-existing fast path.
+  bool fault_aware() const {
+    return recovery_active || (plat != nullptr && plat->has_injector());
+  }
+
+  bool device_blacklisted(int device) const {
+    return device >= 0 &&
+           static_cast<std::size_t>(device) < blacklisted.size() &&
+           blacklisted[static_cast<std::size_t>(device)] != 0;
+  }
+
+  /// Marks `device` permanently failed: evacuates modified sole copies to
+  /// the host (device-to-host copies from a failed device stay allowed),
+  /// frees its instances and poisons data whose only valid copy was lost.
+  void blacklist_device(int device);
+
+  /// Deterministically remaps a submission device onto a surviving device
+  /// (survivors[device % n_survivors]); throws device_lost_error when no
+  /// device survives.
+  int reroute_device(int device);
+
+  /// Records a failure (capped at error_report::max_recorded) and returns
+  /// its id for downstream caused_by chains.
+  std::uint64_t record_failure(failure_kind kind, std::string symbol,
+                               int device, int attempts, std::string detail,
+                               std::vector<std::uint64_t> caused_by = {});
 };
 
 }  // namespace cudastf

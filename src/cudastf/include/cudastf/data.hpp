@@ -80,6 +80,11 @@ class logical_data_impl {
   event_list last_writer;
   event_list readers_since_write;
 
+  /// Failure id (error_report) that poisoned this data, 0 while healthy.
+  /// A failed task poisons the data it would have written; dependents are
+  /// cancelled instead of executed and write-back is skipped (§5).
+  std::uint64_t poisoned_by = 0;
+
   /// Set while a prologue runs so the allocator will not evict our
   /// instances mid-acquire.
   void pin_all(bool pinned);
@@ -125,6 +130,19 @@ event_list write_back_host(context_state& st, logical_data_impl& d);
 /// Resolves an affine data place against an execution device
 /// (device index, or -1 for host execution).
 data_place resolve_place(const data_place& requested, int exec_device);
+
+/// Internal, exposed for the recovery engine (fault.cpp): picks the
+/// instance to copy from — a modified copy if one exists, else any valid
+/// (shared) copy; nullptr when no valid copy survives.
+data_instance* pick_valid_source(logical_data_impl& d,
+                                 const data_instance* exclude);
+
+/// Internal, exposed for the recovery engine: issues the asynchronous
+/// transfer making `dst` a valid copy of `src`, retrying transient link
+/// faults in fault-aware mode. Throws detail::device_lost_error /
+/// detail::transfer_error on permanent failure.
+event_ptr issue_copy(context_state& st, logical_data_impl& d,
+                     data_instance& src, data_instance& dst);
 
 /// HEFT-style device selection (§IX extension): picks the device with the
 /// smallest estimated finish time = current estimated load + modelled

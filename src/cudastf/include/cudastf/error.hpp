@@ -1,0 +1,139 @@
+// Error model of the STF layer (DESIGN.md §5).
+//
+// The boundary: cudasim reports failures through CUDA-style sticky status
+// codes (never throws); cudastf turns unrecovered failures into a structured
+// error_report surfaced by ctx.finalize(). Exceptions remain for host-side
+// programming errors (API misuse) and — when no fault handling is armed —
+// genuine allocation exhaustion, which now throws oom_error with context
+// instead of a bare std::bad_alloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cudasim/fault.hpp"
+
+namespace cudastf {
+
+/// Why a task (or logical data) failed.
+enum class failure_kind : std::uint8_t {
+  kernel_fault,          ///< transient launch fault, retries exhausted
+  link_error,            ///< transient copy fault, retries exhausted
+  device_lost,           ///< permanent device failure with no surviving route
+  out_of_memory,         ///< allocation failed with nothing left to evict
+  submission_exception,  ///< a task body / merge threw mid-submission
+  data_lost,             ///< write-back or evacuation of a sole copy failed
+  cancelled,             ///< not executed: an input/output was poisoned
+};
+
+const char* failure_kind_name(failure_kind k);
+
+/// One recorded failure. `id` is referenced by the `caused_by` chains of
+/// downstream cancellations and by logical_data poisoning.
+struct task_failure {
+  std::uint64_t id = 0;
+  failure_kind kind = failure_kind::kernel_fault;
+  std::string symbol;  ///< task symbol, or logical-data name for data_lost
+  int device = -1;
+  int attempts = 1;    ///< submission attempts consumed (retries + 1)
+  std::string detail;  ///< human-readable cause
+  std::vector<std::uint64_t> caused_by;  ///< upstream failure ids
+};
+
+/// Structured outcome of a context, returned by ctx.finalize(). A fault-free
+/// run reports ok(); after failures the report carries the cause chains and
+/// recovery counters instead of the runtime crashing mid-submission.
+struct error_report {
+  /// Recorded failures (capped at max_recorded; failures_total keeps the
+  /// true count so a flood of cascading cancellations cannot OOM the host).
+  std::vector<task_failure> failures;
+  static constexpr std::size_t max_recorded = 512;
+  std::uint64_t failures_total = 0;
+
+  std::uint64_t tasks_retried = 0;      ///< transient faults absorbed by retry
+  std::uint64_t tasks_rerouted = 0;     ///< submissions moved off a dead device
+  std::uint64_t tasks_cancelled = 0;    ///< dependents not executed (poison)
+  std::uint64_t alloc_retries = 0;      ///< injected alloc faults absorbed
+  std::uint64_t devices_blacklisted = 0;
+
+  bool ok() const { return failures_total == 0; }
+  std::string to_string() const;
+};
+
+/// Per-context retry policy for transiently-failed submissions. Backoff is
+/// virtual time: attempt k waits backoff_seconds * multiplier^(k-1) on the
+/// submitting stream before re-running.
+struct retry_policy {
+  int max_attempts = 3;
+  double backoff_seconds = 2.0e-6;
+  double backoff_multiplier = 2.0;
+};
+
+/// Device-pool exhaustion with context. Derives std::bad_alloc so existing
+/// catch sites keep working; carries what a bare bad_alloc could not say.
+class oom_error : public std::bad_alloc {
+ public:
+  oom_error(int device, std::size_t requested, std::size_t pool_free);
+
+  const char* what() const noexcept override { return what_.c_str(); }
+  int device() const { return device_; }
+  std::size_t requested() const { return requested_; }
+  std::size_t pool_free() const { return pool_free_; }
+  const std::string& data_name() const { return data_name_; }
+  /// Attached by allocate_instance, which knows the logical data involved.
+  void set_data_name(const std::string& name);
+
+ private:
+  std::string what_;
+  std::string data_name_;
+  int device_;
+  std::size_t requested_;
+  std::size_t pool_free_;
+};
+
+/// launch() scratchpad exhaustion with context (hierarchy.cpp).
+class scratch_oom_error : public std::bad_alloc {
+ public:
+  scratch_oom_error(std::size_t requested, std::size_t used,
+                    std::size_t capacity);
+  const char* what() const noexcept override { return what_.c_str(); }
+  std::size_t requested() const { return requested_; }
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::string what_;
+  std::size_t requested_;
+  std::size_t used_;
+  std::size_t capacity_;
+};
+
+namespace detail {
+
+/// Internal control flow: a submission touched a permanently failed device.
+/// Caught by the submission engine, which blacklists and re-routes.
+struct device_lost_error : std::runtime_error {
+  explicit device_lost_error(int dev)
+      : std::runtime_error("cudastf: device lost"), device(dev) {}
+  int device;
+};
+
+/// Internal control flow: a coherence transfer kept failing after retries.
+struct transfer_error : std::runtime_error {
+  explicit transfer_error(cudasim::sim_status s)
+      : std::runtime_error(std::string("cudastf: transfer failed: ") +
+                           cudasim::status_name(s)),
+        status(s) {}
+  cudasim::sim_status status;
+};
+
+/// sim_status -> failure_kind for permanent failures.
+failure_kind kind_of(cudasim::sim_status s);
+
+}  // namespace detail
+
+}  // namespace cudastf

@@ -37,9 +37,12 @@ class [[nodiscard]] launch_builder {
   void operator->*(Fn&& fn) && {
     std::lock_guard lock(st_->mu);
     constexpr auto seq = std::index_sequence_for<Deps...>{};
+    if (st_->fault_aware()) {
+      submit_resilient(std::forward<Fn>(fn), seq);
+      return;
+    }
     const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
-    const auto ndev = static_cast<int>(devices.size());
-    if (ndev > 1) {
+    if (devices.size() > 1) {
       detail::gridify_places(deps_, detail::default_composite(devices), seq);
     }
     std::array<data_place, sizeof...(Deps)> resolved;
@@ -48,38 +51,167 @@ class [[nodiscard]] launch_builder {
     auto views = detail::make_views(resolved, deps_, seq);
 
     event_list done;
-    for (int i = 0; i < ndev; ++i) {
-      cudasim::kernel_desc k;
-      k.name = symbol_;
-      k.flops = flops_ / efficiency_ / ndev;
-      // Traffic model: each device touches the blocked 1/ndev share of each
-      // dependency — consistent with the default partitioning strategy the
-      // hierarchy applies (§V-3) and the composite page mapping (§VI-B).
-      const double f0 = static_cast<double>(i) / ndev;
-      const double f1 = static_cast<double>(i + 1) / ndev;
-      detail::add_all_traffic(k, resolved, deps_, f0, f1, devices[i], seq);
-      k.bytes /= efficiency_;
-      std::function<void()> body;
-      if (st_->compute_payloads) {
-        auto spec = spec_;
-        body = [fn, views, spec, i, ndev]() mutable {
-          run_hierarchy(spec, i, ndev, [&](thread_hierarchy& th) {
-            std::apply([&](auto&... v) { fn(th, v...); }, views);
-          });
-        };
-      }
-      cudasim::platform* plat = st_->plat;
-      event_ptr ev = st_->backend->run(
-          devices[static_cast<std::size_t>(i)], backend_iface::channel::compute,
-          ready,
-          [plat, k, body](cudasim::stream& s) { plat->launch_kernel(s, k, body); },
-          symbol_);
-      done.add(ev);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      done.add(submit_one(fn, views, resolved, devices, i, seq, nullptr,
+                          &ready));
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
   }
 
  private:
+  /// Builds and submits the sub-launch of device shard `i`. With rr ==
+  /// nullptr this is the fast path; otherwise run_resilient is used and
+  /// `rr` receives the outcome.
+  template <class Fn, class Views, std::size_t... I>
+  event_ptr submit_one(Fn& fn, Views& views,
+                       const std::array<data_place, sizeof...(Deps)>& resolved,
+                       const std::vector<int>& devices, std::size_t i,
+                       std::index_sequence<I...> seq,
+                       detail::resilient_result* rr,
+                       const event_list* ready_events) {
+    const auto ndev = static_cast<int>(devices.size());
+    cudasim::kernel_desc k;
+    k.name = symbol_;
+    k.flops = flops_ / efficiency_ / ndev;
+    // Traffic model: each device touches the blocked 1/ndev share of each
+    // dependency — consistent with the default partitioning strategy the
+    // hierarchy applies (§V-3) and the composite page mapping (§VI-B).
+    const double f0 = static_cast<double>(i) / ndev;
+    const double f1 = static_cast<double>(i + 1) / ndev;
+    detail::add_all_traffic(k, resolved, deps_, f0, f1,
+                            devices[i], seq);
+    k.bytes /= efficiency_;
+    std::function<void()> body;
+    if (st_->compute_payloads) {
+      auto spec = spec_;
+      const int rank = static_cast<int>(i);
+      // By value: the body runs at drain time, after this frame is gone.
+      body = [fn, views, spec, rank, ndev]() mutable {
+        run_hierarchy(spec, rank, ndev, [&](thread_hierarchy& th) {
+          std::apply([&](auto&... v) { fn(th, v...); }, views);
+        });
+      };
+    }
+    cudasim::platform* plat = st_->plat;
+    auto payload = [plat, k, body](cudasim::stream& s) {
+      plat->launch_kernel(s, k, body);
+    };
+    if (rr == nullptr) {
+      return st_->backend->run(devices[i], backend_iface::channel::compute,
+                               *ready_events, payload, symbol_);
+    }
+    *rr = detail::run_resilient(*st_, devices[i],
+                                backend_iface::channel::compute, *ready_events,
+                                payload, symbol_);
+    return rr->status == cudasim::sim_status::success ? rr->ev : nullptr;
+  }
+
+  /// Fault-aware whole-submission loop; see parallel_for_builder for the
+  /// reasoning (shrunken grids re-bind composite places, so re-execution
+  /// never double-applies already-submitted shards).
+  template <class Fn, std::size_t... I>
+  [[gnu::cold]] [[gnu::noinline]] void submit_resilient(
+      Fn&& fn, std::index_sequence<I...> seq) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    {
+      std::size_t idx = 0;
+      std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+                 deps_);
+    }
+    const std::size_t n = untyped.size();
+    if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
+      return;
+    }
+    std::array<data_place, sizeof...(Deps)> orig_places{};
+    ((orig_places[I] = std::get<I>(deps_).untyped.place), ...);
+    const int max_rounds = st_->plat->device_count() + 1;
+    for (int round = 0; round < max_rounds; ++round) {
+      ((std::get<I>(deps_).untyped.place = orig_places[I]), ...);
+      std::vector<int> devices;
+      try {
+        devices = detail::resolve_devices(where_, *st_->plat);
+        detail::filter_blacklisted(*st_, devices);
+      } catch (const detail::device_lost_error&) {
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::device_lost, -1, round + 1,
+                          "no surviving device to re-route to");
+        return;
+      }
+      if (round > 0) {
+        ++st_->report.tasks_rerouted;
+      }
+      if (devices.size() > 1) {
+        detail::gridify_places(deps_, detail::default_composite(devices), seq);
+      }
+      detail::msi_snapshot snap;
+      snap.capture(untyped.data(), n);
+      std::array<data_place, sizeof...(Deps)> resolved;
+      event_list ready;
+      try {
+        ready = detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
+      } catch (const detail::device_lost_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        st_->blacklist_device(e.device);
+        continue;
+      } catch (const detail::transfer_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::link_error, devices.front(), round + 1,
+                          e.what());
+        return;
+      } catch (const std::bad_alloc& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::out_of_memory, devices.front(),
+                          round + 1, e.what());
+        return;
+      }
+      auto views = detail::make_views(resolved, deps_, seq);
+      event_list done;
+      detail::resilient_result bad;
+      int bad_device = -1;
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        detail::resilient_result r;
+        event_ptr ev = submit_one(fn, views, resolved, devices, i, seq, &r,
+                                  &ready);
+        if (ev) {
+          done.add(std::move(ev));
+        } else if (r.status != cudasim::sim_status::success) {
+          bad = r;
+          bad_device = devices[i];
+          break;
+        }
+      }
+      if (bad_device < 0) {
+        detail::release_all(*st_, resolved, deps_, done, seq);
+        return;
+      }
+      if (bad.ev) {
+        done.add(std::move(bad.ev));
+      }
+      detail::guard_partial(untyped.data(), n, resolved.data(), done);
+      snap.restore();
+      detail::unpin_deps(untyped.data(), n);
+      const bool lost = bad.status == cudasim::sim_status::error_device_lost;
+      if (lost) {
+        st_->blacklist_device(bad_device);
+        if (!bad.partial) {
+          continue;
+        }
+      }
+      detail::fail_task(*st_, untyped.data(), n, symbol_,
+                        detail::kind_of(bad.status), bad_device,
+                        bad.attempts + round, cudasim::status_name(bad.status));
+      return;
+    }
+    detail::fail_task(*st_, untyped.data(), n, symbol_,
+                      failure_kind::device_lost, -1, max_rounds,
+                      "retries exhausted after repeated device losses");
+  }
+
   std::shared_ptr<context_state> st_;
   hierarchy_spec spec_;
   exec_place where_;

@@ -97,6 +97,10 @@ class [[nodiscard]] parallel_for_builder {
       submit_host(std::forward<Fn>(fn), seq);
       return;
     }
+    if (st_->fault_aware()) {
+      submit_devices_resilient(std::forward<Fn>(fn), seq);
+      return;
+    }
     const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
     if (devices.size() > 1) {
       detail::gridify_places(deps_, detail::default_composite(devices), seq);
@@ -106,48 +110,185 @@ class [[nodiscard]] parallel_for_builder {
         detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
     auto views = detail::make_views(resolved, deps_, seq);
 
-    const std::size_t total = shape_.size();
-    const blocked_partitioner blocked;
     event_list done;
     for (std::size_t i = 0; i < devices.size(); ++i) {
-      const auto span = blocked.assign(total, i, devices.size());
-      const std::size_t elems = span.end - span.begin;
-      if (elems == 0 && devices.size() > 1) {
-        continue;
+      event_ptr ev = submit_one(fn, views, resolved, devices, i, seq, nullptr,
+                                &ready);
+      if (ev) {
+        done.add(std::move(ev));
       }
-      cudasim::kernel_desc k;
-      k.name = symbol_;
-      k.flops = static_cast<double>(elems) * flops_per_elem_ / efficiency_;
-      if (bytes_per_elem_ >= 0) {
-        k.bytes = static_cast<double>(elems) * bytes_per_elem_ / efficiency_;
-      } else if (total > 0) {
-        const double f0 = static_cast<double>(span.begin) / static_cast<double>(total);
-        const double f1 = static_cast<double>(span.end) / static_cast<double>(total);
-        detail::add_all_traffic(k, resolved, deps_, f0, f1, devices[i], seq);
-        k.bytes /= efficiency_;
-      }
-      std::function<void()> body;
-      if (st_->compute_payloads) {
-        auto shape = shape_;
-        body = [fn, views, shape, span]() mutable {
-          for (std::size_t lin = span.begin; lin < span.end; lin += span.stride) {
-            detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
-                                   std::make_index_sequence<R>{},
-                                   std::index_sequence_for<Deps...>{});
-          }
-        };
-      }
-      cudasim::platform* plat = st_->plat;
-      event_ptr ev = st_->backend->run(
-          devices[i], backend_iface::channel::compute, ready,
-          [plat, k, body](cudasim::stream& s) { plat->launch_kernel(s, k, body); },
-          symbol_);
-      done.add(ev);
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
   }
 
  private:
+  /// Builds and submits the sub-launch of shard `i` over `devices`. With
+  /// rr == nullptr this is the fast path; otherwise the submission goes
+  /// through run_resilient and `rr` receives the outcome.
+  template <class Fn, class Views, std::size_t... I>
+  event_ptr submit_one(Fn& fn, Views& views,
+                       const std::array<data_place, sizeof...(Deps)>& resolved,
+                       const std::vector<int>& devices, std::size_t i,
+                       std::index_sequence<I...> seq,
+                       detail::resilient_result* rr,
+                       const event_list* ready_events) {
+    const std::size_t total = shape_.size();
+    const blocked_partitioner blocked;
+    const auto span = blocked.assign(total, i, devices.size());
+    const std::size_t elems = span.end - span.begin;
+    if (elems == 0 && devices.size() > 1) {
+      return nullptr;
+    }
+    cudasim::kernel_desc k;
+    k.name = symbol_;
+    k.flops = static_cast<double>(elems) * flops_per_elem_ / efficiency_;
+    if (bytes_per_elem_ >= 0) {
+      k.bytes = static_cast<double>(elems) * bytes_per_elem_ / efficiency_;
+    } else if (total > 0) {
+      const double f0 = static_cast<double>(span.begin) / static_cast<double>(total);
+      const double f1 = static_cast<double>(span.end) / static_cast<double>(total);
+      detail::add_all_traffic(k, resolved, deps_, f0, f1, devices[i], seq);
+      k.bytes /= efficiency_;
+    }
+    std::function<void()> body;
+    if (st_->compute_payloads) {
+      auto shape = shape_;
+      // By value: the body runs at drain time, after this frame is gone.
+      body = [fn, views, shape, span]() mutable {
+        for (std::size_t lin = span.begin; lin < span.end; lin += span.stride) {
+          detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
+                                 std::make_index_sequence<R>{},
+                                 std::index_sequence_for<Deps...>{});
+        }
+      };
+    }
+    cudasim::platform* plat = st_->plat;
+    auto payload = [plat, k, body](cudasim::stream& s) {
+      plat->launch_kernel(s, k, body);
+    };
+    const event_list& ready = *ready_events;
+    if (rr == nullptr) {
+      return st_->backend->run(devices[i], backend_iface::channel::compute,
+                               ready, payload, symbol_);
+    }
+    *rr = detail::run_resilient(*st_, devices[i],
+                                backend_iface::channel::compute, ready,
+                                payload, symbol_);
+    return rr->status == cudasim::sim_status::success ? rr->ev : nullptr;
+  }
+
+  /// Fault-aware whole-submission loop (DESIGN.md §5): on device loss the
+  /// MSI states are rolled back, the device blacklisted and the submission
+  /// re-gridified over the survivors. Already-submitted shards write into
+  /// instances the retry never reads (the shrunken grid binds a different
+  /// composite place), so re-execution cannot double-apply work.
+  template <class Fn, std::size_t... I>
+  [[gnu::cold]] [[gnu::noinline]] void submit_devices_resilient(
+      Fn&& fn, std::index_sequence<I...> seq) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    {
+      std::size_t idx = 0;
+      std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+                 deps_);
+    }
+    const std::size_t n = untyped.size();
+    if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
+      return;
+    }
+    // gridify_places mutates the requested places per device set: save the
+    // originals so every retry re-binds against the current survivors.
+    std::array<data_place, sizeof...(Deps)> orig_places{};
+    ((orig_places[I] = std::get<I>(deps_).untyped.place), ...);
+    const int max_rounds = st_->plat->device_count() + 1;
+    for (int round = 0; round < max_rounds; ++round) {
+      ((std::get<I>(deps_).untyped.place = orig_places[I]), ...);
+      std::vector<int> devices;
+      try {
+        devices = detail::resolve_devices(where_, *st_->plat);
+        detail::filter_blacklisted(*st_, devices);
+      } catch (const detail::device_lost_error&) {
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::device_lost, -1, round + 1,
+                          "no surviving device to re-route to");
+        return;
+      }
+      if (round > 0) {
+        ++st_->report.tasks_rerouted;
+      }
+      if (devices.size() > 1) {
+        detail::gridify_places(deps_, detail::default_composite(devices), seq);
+      }
+      detail::msi_snapshot snap;
+      snap.capture(untyped.data(), n);
+      std::array<data_place, sizeof...(Deps)> resolved;
+      event_list ready;
+      try {
+        ready = detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
+      } catch (const detail::device_lost_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        st_->blacklist_device(e.device);
+        continue;
+      } catch (const detail::transfer_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::link_error, devices.front(), round + 1,
+                          e.what());
+        return;
+      } catch (const std::bad_alloc& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::out_of_memory, devices.front(),
+                          round + 1, e.what());
+        return;
+      }
+      auto views = detail::make_views(resolved, deps_, seq);
+      event_list done;
+      detail::resilient_result bad;
+      int bad_device = -1;
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        detail::resilient_result r;
+        event_ptr ev = submit_one(fn, views, resolved, devices, i, seq, &r,
+                                  &ready);
+        if (ev) {
+          done.add(std::move(ev));
+        } else if (r.status != cudasim::sim_status::success) {
+          bad = r;
+          bad_device = devices[i];
+          break;
+        }
+      }
+      if (bad_device < 0) {
+        detail::release_all(*st_, resolved, deps_, done, seq);
+        return;
+      }
+      // Order anything already submitted (and a partial prefix) before any
+      // retry copies and before deferred frees.
+      if (bad.ev) {
+        done.add(std::move(bad.ev));
+      }
+      detail::guard_partial(untyped.data(), n, resolved.data(), done);
+      snap.restore();
+      detail::unpin_deps(untyped.data(), n);
+      const bool lost = bad.status == cudasim::sim_status::error_device_lost;
+      if (lost) {
+        st_->blacklist_device(bad_device);
+        if (!bad.partial) {
+          continue;
+        }
+      }
+      detail::fail_task(*st_, untyped.data(), n, symbol_,
+                        detail::kind_of(bad.status), bad_device,
+                        bad.attempts + round, cudasim::status_name(bad.status));
+      return;
+    }
+    detail::fail_task(*st_, untyped.data(), n, symbol_,
+                      failure_kind::device_lost, -1, max_rounds,
+                      "retries exhausted after repeated device losses");
+  }
+
   template <class Fn, std::size_t... I>
   void submit_host(Fn&& fn, std::index_sequence<I...> seq) {
     std::array<data_place, sizeof...(Deps)> resolved;

@@ -13,6 +13,7 @@
 #include "cudastf/context_state.hpp"
 #include "cudastf/logical_data.hpp"
 #include "cudastf/places.hpp"
+#include "cudastf/recover.hpp"
 
 namespace cudastf::detail {
 
@@ -86,10 +87,7 @@ class [[nodiscard]] task_builder {
         device = where_.device_index();
         break;
       case exec_place::kind::automatic: {
-        std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
-        std::size_t idx = 0;
-        std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
-                   deps_);
+        const auto untyped = make_untyped();
         device = pick_heft_device(*st_, untyped.data(), untyped.size());
         break;
       }
@@ -98,22 +96,158 @@ class [[nodiscard]] task_builder {
         break;
     }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
+    if (st_->fault_aware()) {
+      submit_resilient(std::forward<Fn>(fn), device, make_untyped());
+      return;
+    }
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready =
-        detail::acquire_all(*st_, device, resolved, deps_, seq);
-    auto views = detail::make_views(resolved, deps_, seq);
-    auto payload = [fn = std::forward<Fn>(fn), views](cudasim::stream& s) mutable {
-      std::apply([&](auto&... v) { fn(s, v...); }, views);
-    };
-    event_ptr done =
-        st_->backend->run(device, backend_iface::channel::compute, ready,
-                          payload, symbol_);
-    // One list, moved into place — release_dep copies are refcount bumps.
-    const event_list done_list(std::move(done));
-    detail::release_all(*st_, resolved, deps_, done_list, seq);
+    event_list ready;
+    try {
+      ready = detail::acquire_all(*st_, device, resolved, deps_, seq);
+      auto views = detail::make_views(resolved, deps_, seq);
+      auto payload = [fn = std::forward<Fn>(fn),
+                      views](cudasim::stream& s) mutable {
+        std::apply([&](auto&... v) { fn(s, v...); }, views);
+      };
+      event_ptr done =
+          st_->backend->run(device, backend_iface::channel::compute, ready,
+                            payload, symbol_);
+      // One list, moved into place — release_dep copies are refcount bumps.
+      const event_list done_list(std::move(done));
+      detail::release_all(*st_, resolved, deps_, done_list, seq);
+    } catch (const std::bad_alloc& e) {
+      record_submit_failure(failure_kind::out_of_memory, device, e.what());
+      throw;
+    } catch (const std::exception& e) {
+      record_submit_failure(failure_kind::submission_exception, device,
+                            e.what());
+      throw;
+    }
   }
 
  private:
+  std::array<const task_dep_untyped*, sizeof...(Deps)> make_untyped() const {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    return untyped;
+  }
+
+  /// Cold epilogue of a failed fast-path submission: unpins and records.
+  /// Out-of-line so the catch blocks in the hot template stay tiny.
+  [[gnu::cold]] [[gnu::noinline]] void record_submit_failure(
+      failure_kind kind, int device, const char* what) {
+    const auto untyped = make_untyped();
+    detail::unpin_deps(untyped.data(), untyped.size());
+    detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_, kind,
+                      device, 1, what);
+  }
+
+  /// Fault-aware submission (DESIGN.md §5): cancel on poisoned inputs,
+  /// re-route off blacklisted devices, roll back and retry on faults.
+  /// Kept out-of-line (cold) so the fault-free fast path above stays
+  /// compact in the instruction cache.
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void submit_resilient(
+      Fn&& fn, int device,
+      const std::array<const task_dep_untyped*, sizeof...(Deps)>& untyped) {
+    constexpr auto seq = std::index_sequence_for<Deps...>{};
+    const std::size_t n = untyped.size();
+    if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
+      return;
+    }
+    const int ndev = st_->plat->device_count();
+    for (int round = 0;; ++round) {
+      if (st_->device_blacklisted(device)) {
+        try {
+          device = st_->reroute_device(device);
+        } catch (const detail::device_lost_error&) {
+          detail::fail_task(*st_, untyped.data(), n, symbol_,
+                            failure_kind::device_lost, device, round + 1,
+                            "no surviving device to re-route to");
+          return;
+        }
+        ++st_->report.tasks_rerouted;
+      }
+      detail::msi_snapshot snap;
+      snap.capture(untyped.data(), n);
+      std::array<data_place, sizeof...(Deps)> resolved;
+      event_list ready;
+      try {
+        ready = detail::acquire_all(*st_, device, resolved, deps_, seq);
+      } catch (const detail::device_lost_error& e) {
+        // A copy endpoint died mid-acquire: restore *before* blacklisting
+        // so evacuation sees the true pre-acquire coherency states.
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        st_->blacklist_device(e.device);
+        if (round < ndev) {
+          continue;
+        }
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::device_lost, e.device, round + 1,
+                          "device lost during data acquire");
+        return;
+      } catch (const detail::transfer_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::link_error, device, round + 1,
+                          e.what());
+        return;
+      } catch (const std::bad_alloc& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::out_of_memory, device, round + 1,
+                          e.what());
+        return;
+      }
+      auto views = detail::make_views(resolved, deps_, seq);
+      auto payload = [&fn, views](cudasim::stream& s) mutable {
+        std::apply([&](auto&... v) { fn(s, v...); }, views);
+      };
+      detail::resilient_result r;
+      try {
+        r = detail::run_resilient(*st_, device,
+                                  backend_iface::channel::compute, ready,
+                                  payload, symbol_);
+      } catch (const std::exception& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task(*st_, untyped.data(), n, symbol_,
+                          failure_kind::submission_exception, device,
+                          round + 1, e.what());
+        throw;
+      }
+      if (r.status == cudasim::sim_status::success) {
+        const event_list done_list(std::move(r.ev));
+        detail::release_all(*st_, resolved, deps_, done_list, seq);
+        return;
+      }
+      snap.restore();
+      detail::unpin_deps(untyped.data(), n);
+      const bool lost = r.status == cudasim::sim_status::error_device_lost;
+      if (lost) {
+        st_->blacklist_device(device);
+      }
+      if (lost && !r.partial && round < ndev) {
+        continue;  // re-routed at the top of the loop
+      }
+      if (r.partial) {
+        // The executed prefix still references the instances: its event
+        // must gate their deferred destruction.
+        detail::guard_partial(untyped.data(), n, resolved.data(),
+                              event_list(std::move(r.ev)));
+      }
+      detail::fail_task(*st_, untyped.data(), n, symbol_,
+                        detail::kind_of(r.status), device, r.attempts + round,
+                        cudasim::status_name(r.status));
+      return;
+    }
+  }
+
   std::shared_ptr<context_state> st_;
   exec_place where_;
   std::tuple<Deps...> deps_;
@@ -144,24 +278,64 @@ class [[nodiscard]] host_launch_builder {
   void operator->*(Fn&& fn) && {
     std::lock_guard lock(st_->mu);
     constexpr auto seq = std::index_sequence_for<Deps...>{};
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    {
+      std::size_t idx = 0;
+      std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+                 deps_);
+    }
+    const bool aware = st_->fault_aware();
+    if (aware &&
+        detail::cancel_if_poisoned(*st_, untyped.data(), untyped.size(),
+                                   symbol_)) {
+      return;
+    }
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
-    auto views = detail::make_views(resolved, deps_, seq);
-    cudasim::platform* plat = st_->plat;
-    const double cost = cost_;
-    auto payload = [fn = std::forward<Fn>(fn), views, plat,
-                    cost](cudasim::stream& s) mutable {
-      plat->launch_host_func(
-          s,
-          [fn, views]() mutable {
-            std::apply([&](auto&... v) { fn(v...); }, views);
-          },
-          cost);
-    };
-    event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
-                                       payload, symbol_);
-    const event_list done_list(std::move(done));
-    detail::release_all(*st_, resolved, deps_, done_list, seq);
+    event_list ready;
+    try {
+      // Host tasks gather their inputs to the host; device-to-host copies
+      // remain allowed even from a failed device (evacuation grace), so a
+      // device loss rarely reaches this acquire.
+      ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
+      auto views = detail::make_views(resolved, deps_, seq);
+      cudasim::platform* plat = st_->plat;
+      const double cost = cost_;
+      auto payload = [fn = std::forward<Fn>(fn), views, plat,
+                      cost](cudasim::stream& s) mutable {
+        plat->launch_host_func(
+            s,
+            [fn, views]() mutable {
+              std::apply([&](auto&... v) { fn(v...); }, views);
+            },
+            cost);
+      };
+      event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
+                                         payload, symbol_);
+      const event_list done_list(std::move(done));
+      detail::release_all(*st_, resolved, deps_, done_list, seq);
+    } catch (const detail::device_lost_error& e) {
+      detail::unpin_deps(untyped.data(), untyped.size());
+      st_->blacklist_device(e.device);
+      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                        failure_kind::device_lost, e.device, 1,
+                        "device lost during host-task acquire");
+      if (!aware) throw;
+    } catch (const detail::transfer_error& e) {
+      detail::unpin_deps(untyped.data(), untyped.size());
+      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                        failure_kind::link_error, -1, 1, e.what());
+      if (!aware) throw;
+    } catch (const std::bad_alloc& e) {
+      detail::unpin_deps(untyped.data(), untyped.size());
+      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                        failure_kind::out_of_memory, -1, 1, e.what());
+      if (!aware) throw;
+    } catch (const std::exception& e) {
+      detail::unpin_deps(untyped.data(), untyped.size());
+      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                        failure_kind::submission_exception, -1, 1, e.what());
+      throw;
+    }
   }
 
  private:
