@@ -1,19 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then the
 # Table I task-overhead benchmark in JSON mode. Exits nonzero on any
-# failure. Usage: scripts/tier1.sh [--sanitize] [build-dir]
+# failure. Usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [build-dir]
 #
 # --sanitize additionally builds an ASan+UBSan tree (build-asan) and runs
 # the fault-injection and eviction tests under it — the error and recovery
 # paths are where lifetime bugs would hide.
+#
+# --bench-smoke additionally runs every --json benchmark once and diffs the
+# set of JSON record keys against the checked-in BENCH_*.json baselines —
+# a renamed or dropped counter fails fast, without pinning the (noisy)
+# values themselves.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  sanitize=1
+bench_smoke=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --sanitize) sanitize=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
+    *)
+      echo "usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [build-dir]" >&2
+      exit 2
+      ;;
+  esac
   shift
-fi
+done
 build="${1:-$repo/build}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
@@ -22,6 +35,35 @@ cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 "$build/bench/bench_table1_task_overhead" --json
 "$build/bench/bench_fig3_oom_cholesky" --json
+
+# Sorted unique JSON object keys of a record stream — the schema, not the
+# values.
+json_keys() {
+  grep -o '"[A-Za-z_][A-Za-z_0-9]*"[[:space:]]*:' "$1" | tr -d ' :' | sort -u
+}
+
+if [[ "$bench_smoke" == 1 ]]; then
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+  status=0
+  for pair in \
+    "bench_table1_task_overhead:BENCH_table1.json" \
+    "bench_fig3_oom_cholesky:BENCH_fig3.json" \
+    "bench_table2_reduction:BENCH_table2.json"; do
+    bench="${pair%%:*}"
+    baseline="$repo/${pair##*:}"
+    out="$smoke_dir/$bench.json"
+    echo "bench-smoke: $bench"
+    "$build/bench/$bench" --json > "$out"
+    if ! diff <(json_keys "$baseline") <(json_keys "$out") > "$smoke_dir/$bench.diff"; then
+      echo "bench-smoke: $bench JSON keys drifted from ${pair##*:}:" >&2
+      cat "$smoke_dir/$bench.diff" >&2
+      status=1
+    fi
+  done
+  [[ "$status" == 0 ]] || exit "$status"
+  echo "bench-smoke: all benchmark JSON schemas match their baselines"
+fi
 
 if [[ "$sanitize" == 1 ]]; then
   asan_build="$repo/build-asan"

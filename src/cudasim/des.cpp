@@ -46,6 +46,7 @@ op_node* timeline::make_node(std::string_view name, int device, engine* eng,
   node->eng = eng;
   node->duration = duration;
   node->body = std::move(body);
+  node->real_work = eng != nullptr;
   return node;
 }
 
@@ -74,6 +75,7 @@ void timeline::abandon(op_node* node) {
   node->body.reset();
   node->eng = nullptr;
   node->duration = 0.0;
+  node->real_work = false;
   // Successor edges wired *from* this node would decrement unmet counters of
   // nodes that may never learn about it; submission paths wire successors
   // only after submit(), so an abandoned node has none. Incoming edges (from

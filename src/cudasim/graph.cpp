@@ -69,6 +69,26 @@ graph_node graph::add_memcpy_node(const std::vector<graph_node>& deps, void* dst
   return push(std::move(n));
 }
 
+graph_node graph::add_memcpy_peer_node(const std::vector<graph_node>& deps,
+                                       void* dst, int dst_device,
+                                       const void* src, int src_device,
+                                       std::size_t bytes) {
+  if (dst_device == src_device) {
+    return add_memcpy_node(deps, dst, src, bytes,
+                           memcpy_kind::device_to_device, src_device);
+  }
+  node n;
+  n.kind = graph_node_kind::memcpy;
+  n.deps = to_indices(deps);
+  n.device = src_device;
+  n.peer = dst_device;
+  n.dst = dst;
+  n.src = src;
+  n.bytes = bytes;
+  n.ckind = memcpy_kind::device_to_device;
+  return push(std::move(n));
+}
+
 graph_node graph::add_mem_alloc_node(const std::vector<graph_node>& deps,
                                      int device, std::size_t bytes,
                                      void** out_ptr) {
@@ -132,7 +152,8 @@ bool graph_exec::update(const graph& g) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const graph::node& a = nodes_[i];
     const graph::node& b = g.nodes_[i];
-    if (a.kind != b.kind || a.device != b.device || a.deps != b.deps) {
+    if (a.kind != b.kind || a.device != b.device || a.peer != b.peer ||
+        a.deps != b.deps) {
       return false;
     }
   }
@@ -156,7 +177,8 @@ void graph_exec::launch(stream& s) {
     }
     bool dead = plat_->device(s.device()).failed();
     for (const graph::node& n : nodes_) {
-      dead = dead || (n.device >= 0 && plat_->device(n.device).failed());
+      dead = dead || (n.device >= 0 && plat_->device(n.device).failed()) ||
+             (n.peer >= 0 && plat_->device(n.peer).failed());
     }
     if (dead) {
       s.set_status(sim_status::error_device_lost);
@@ -177,6 +199,7 @@ void graph_exec::launch(stream& s) {
     const graph::node& n = nodes_[i];
     const int dev = n.device >= 0 ? n.device : s.device();
     op_node* op = nullptr;
+    bool wired = false;  // set by multi-engine nodes that wire deps themselves
     switch (n.kind) {
       case graph_node_kind::empty:
         op = tl.make_node("graph.empty", dev, nullptr, 0.0);
@@ -189,7 +212,6 @@ void graph_exec::launch(stream& s) {
         break;
       }
       case graph_node_kind::memcpy: {
-        const platform::copy_plan plan = plat_->plan_copy(dev, n.bytes, n.ckind);
         task_fn body;
         if (plat_->copy_payloads()) {
           void* dst = n.dst;
@@ -201,6 +223,38 @@ void graph_exec::launch(stream& s) {
             }
           };
         }
+        if (n.peer >= 0) {
+          // Dual-engine peer copy: copy_out on src device and copy_in on the
+          // peer run in parallel; the recorded node is their join (mirrors
+          // platform::memcpy_peer_async).
+          const device_desc& sd = plat_->device(dev).desc();
+          const double dur = sd.copy_latency +
+                             static_cast<double>(n.bytes) / sd.p2p_bw;
+          op_node* out = tl.make_node("graph.memcpyPeerSrc", dev,
+                                      &plat_->device(dev).copy_out(), dur,
+                                      std::move(body));
+          op_node* in = tl.make_node("graph.memcpyPeerDst", n.peer,
+                                     &plat_->device(n.peer).copy_in(), dur);
+          if (n.deps.empty()) {
+            timeline::add_dep(s.last(), out);
+            timeline::add_dep(s.last(), in);
+          } else {
+            for (std::uint32_t d : n.deps) {
+              timeline::add_dep(created[d], out);
+              timeline::add_dep(created[d], in);
+              has_succ[d] = true;
+            }
+          }
+          tl.submit(out);
+          tl.submit(in);
+          op = tl.make_node("graph.memcpyPeer", dev, nullptr, 0.0);
+          op->real_work = true;
+          timeline::add_dep(out, op);
+          timeline::add_dep(in, op);
+          wired = true;
+          break;
+        }
+        const platform::copy_plan plan = plat_->plan_copy(dev, n.bytes, n.ckind);
         op = tl.make_node("graph.memcpy", dev, plan.eng, plan.seconds,
                           std::move(body));
         break;
@@ -216,12 +270,14 @@ void graph_exec::launch(stream& s) {
                           n.body);
         break;
     }
-    if (n.deps.empty()) {
-      timeline::add_dep(s.last(), op);
-    } else {
-      for (std::uint32_t d : n.deps) {
-        timeline::add_dep(created[d], op);
-        has_succ[d] = true;
+    if (!wired) {
+      if (n.deps.empty()) {
+        timeline::add_dep(s.last(), op);
+      } else {
+        for (std::uint32_t d : n.deps) {
+          timeline::add_dep(created[d], op);
+          has_succ[d] = true;
+        }
       }
     }
     created[i] = op;

@@ -201,6 +201,13 @@ struct op_node {
   int unmet = 0;  ///< predecessors not yet complete
   bool submitted = false;
   bool done = false;
+  /// True when this node represents accepted work (it occupies an engine,
+  /// or it is the join marker of a multi-engine operation such as a peer
+  /// copy). Pure synchronization markers appended by submission wrappers
+  /// (e.g. retry backoff delays) leave it false, so backends can tell "the
+  /// stream tail moved because work was enqueued" apart from "only a marker
+  /// was appended" when classifying partial submissions.
+  bool real_work = false;
   timepoint t_ready = 0.0;
   timepoint t_start = 0.0;
   timepoint t_end = 0.0;

@@ -42,6 +42,14 @@ class graph {
   graph_node add_memcpy_node(const std::vector<graph_node>& deps, void* dst,
                              const void* src, std::size_t bytes,
                              memcpy_kind kind, int device);
+  /// Cross-device peer copy node (cudaGraphAddMemcpyNode with distinct
+  /// endpoints): occupies copy_out on `src_device` and copy_in on
+  /// `dst_device` in parallel when launched, mirroring
+  /// platform::memcpy_peer_async. Same-device calls degrade to a plain
+  /// device_to_device memcpy node.
+  graph_node add_memcpy_peer_node(const std::vector<graph_node>& deps,
+                                  void* dst, int dst_device, const void* src,
+                                  int src_device, std::size_t bytes);
   /// Graph-ordered allocation (cudaGraphAddMemAllocNode). The buffer is
   /// carved from the device pool when the node is added and returned
   /// immediately, mirroring CUDA's eager virtual-address assignment.
@@ -72,6 +80,7 @@ class graph {
     const void* src = nullptr;    // memcpy source
     std::size_t bytes = 0;        // memcpy / alloc size
     memcpy_kind ckind = memcpy_kind::device_to_device;
+    int peer = -1;                // dst device of a peer memcpy, else -1
     double host_cost = 0.0;
   };
 

@@ -108,6 +108,17 @@ class platform {
   void memcpy_async(void* dst, const void* src, std::size_t n, memcpy_kind kind,
                     stream& s);
 
+  /// Peer copy between two devices (cudaMemcpyPeerAsync). Unlike the
+  /// device_to_device kind of memcpy_async — which only charges the source
+  /// device's copy_out engine — a cross-device peer copy occupies *both*
+  /// endpoints: copy_out on `src_device` and copy_in on `dst_device` run in
+  /// parallel for the link-transfer duration, and the operation completes
+  /// when both have. This models real NVLink contention: a device cannot
+  /// absorb two incoming transfers faster than one. Same-device calls fall
+  /// back to plain device_to_device semantics.
+  void memcpy_peer_async(void* dst, int dst_device, const void* src,
+                         int src_device, std::size_t n, stream& s);
+
   /// Stream-ordered allocation from the device pool backing `s`.
   /// Returns nullptr when the pool capacity would be exceeded (the caller —
   /// e.g. CUDASTF's allocator — is expected to react, typically by evicting).

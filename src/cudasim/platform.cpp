@@ -196,6 +196,85 @@ void platform::memcpy_async(void* dst, const void* src, std::size_t n,
   maybe_drain_locked();
 }
 
+void platform::memcpy_peer_async(void* dst, int dst_device, const void* src,
+                                 int src_device, std::size_t n, stream& s) {
+  if (dst_device == src_device) {
+    memcpy_async(dst, src, n, memcpy_kind::device_to_device, s);
+    return;
+  }
+  if (dst_device < 0 || dst_device >= device_count() || src_device < 0 ||
+      src_device >= device_count()) {
+    throw std::out_of_range("cudasim: memcpy_peer_async device out of range");
+  }
+  std::lock_guard lock(mu_);
+  if (faults_armed_) {
+    const sim_status injected =
+        poll_faults_locked(op_category::copy, s.device());
+    if (s.status() != sim_status::success) {
+      return;
+    }
+    // No evacuation grace on peer links: rescuing data off a failed device
+    // goes through the host path (device_to_host), never through a peer.
+    if (device(src_device).failed() || device(dst_device).failed()) {
+      s.set_status(sim_status::error_device_lost);
+      return;
+    }
+    if (injected != sim_status::success) {
+      s.set_status(injected);
+      return;
+    }
+  } else if (s.status() != sim_status::success) {
+    return;
+  }
+  if (s.capturing()) {
+    graph* g = s.capture_graph();
+    set_capture_tail(s, g->add_memcpy_peer_node(capture_deps(s), dst,
+                                                dst_device, src, src_device, n));
+    return;
+  }
+  device_state& sdev = device(src_device);
+  device_state& ddev = device(dst_device);
+  const double seconds =
+      sdev.desc().copy_latency + static_cast<double>(n) / sdev.desc().p2p_bw;
+  task_fn body;
+  if (copy_payloads_) {
+    body = [dst, src, n] {
+      if (dst != nullptr && src != nullptr && n > 0) {
+        std::memmove(dst, src, n);
+      }
+    };
+  }
+  op_node* out = tl_.make_node("memcpyPeerSrc", src_device, &sdev.copy_out(),
+                               seconds, std::move(body));
+  op_node* in = tl_.make_node("memcpyPeerDst", dst_device, &ddev.copy_in(),
+                              seconds);
+  op_node* join = tl_.make_node("memcpyPeer", src_device, nullptr, 0.0);
+  join->real_work = true;  // accepted work, not a mere marker
+  try {
+    timeline::add_dep(s.last(), out);
+    timeline::add_dep(s.last(), in);
+  } catch (...) {
+    tl_.abandon(out);
+    tl_.abandon(in);
+    tl_.abandon(join);
+    throw;
+  }
+  tl_.submit(out);
+  tl_.submit(in);
+  try {
+    // Wired after submit: edges *into* a node whose predecessors are live
+    // always resolve, so abandoning `join` below can never strand it.
+    timeline::add_dep(out, join);
+    timeline::add_dep(in, join);
+  } catch (...) {
+    tl_.abandon(join);
+    throw;
+  }
+  s.set_last(join);
+  tl_.submit(join);
+  maybe_drain_locked();
+}
+
 void* platform::malloc_async(std::size_t bytes, stream& s) {
   std::lock_guard lock(mu_);
   if (faults_armed_) {

@@ -75,9 +75,10 @@ event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
   stats_.deps_wired += deps.size();
   // Snapshot the stream tail after dep wiring so a fault status set during
   // the payload can be classified: tail unchanged (or only a pure marker
-  // such as the retry-backoff node, eng == nullptr) means the refusal was
-  // clean and the submission can be retried; a real op at the tail means a
-  // prefix of the payload executed and retry would double-run it.
+  // such as the retry-backoff node, real_work == false) means the refusal
+  // was clean and the submission can be retried; real work at the tail
+  // (including a peer-copy join marker) means a prefix of the payload
+  // executed and retry would double-run it.
   cudasim::op_node* before = s.last();
   payload(s);
   const cudasim::sim_status st = s.status();
@@ -88,7 +89,7 @@ event_ptr stream_backend::run(int device, channel ch, const event_list& deps,
     if (rr != nullptr) {
       cudasim::op_node* after = s.last();
       rr->status = st;
-      rr->partial = after != before && after != nullptr && after->eng != nullptr;
+      rr->partial = after != before && after != nullptr && after->real_work;
     }
   } else if (rr != nullptr) {
     rr->status = cudasim::sim_status::success;

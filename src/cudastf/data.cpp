@@ -1,5 +1,6 @@
 #include "cudastf/data.hpp"
 
+#include <algorithm>
 #include <new>
 #include <stdexcept>
 
@@ -7,6 +8,7 @@
 #include "cudastf/error.hpp"
 #include "cudastf/partition.hpp"
 #include "cudastf/recover.hpp"
+#include "cudastf/transfer.hpp"
 
 namespace cudastf {
 
@@ -101,101 +103,8 @@ data_instance* pick_valid_source(logical_data_impl& d,
   return shared_src;
 }
 
-namespace {
-
-struct copy_route {
-  cudasim::memcpy_kind kind;
-  int run_device;  ///< device whose copy engine performs the transfer
-};
-
-int place_device(const data_place& p) {
-  switch (p.type()) {
-    case data_place::kind::device:
-      return p.device_index();
-    case data_place::kind::composite:
-      return p.composite_info().devices.front();
-    default:
-      return -1;  // host
-  }
-}
-
-copy_route route_copy(const data_place& src, const data_place& dst) {
-  const int s = place_device(src);
-  const int d = place_device(dst);
-  if (s < 0 && d < 0) {
-    return {cudasim::memcpy_kind::host_to_host, 0};
-  }
-  if (s < 0) {
-    return {cudasim::memcpy_kind::host_to_device, d};
-  }
-  if (d < 0) {
-    return {cudasim::memcpy_kind::device_to_host, s};
-  }
-  return {cudasim::memcpy_kind::device_to_device, s};
-}
-
-}  // namespace
-
-/// Issues the asynchronous transfer making `dst` a valid copy of `src`.
-/// In fault-aware mode transient link faults are retried under the
-/// context's backoff policy; MSI state is only mutated once the transfer
-/// was accepted, so a failed copy leaves the protocol state untouched.
-/// Throws detail::device_lost_error / detail::transfer_error on permanent
-/// failure.
-event_ptr issue_copy(context_state& st, logical_data_impl& d,
-                     data_instance& src, data_instance& dst) {
-  event_list deps;
-  deps.merge(src.writer);   // the data must have been produced
-  deps.merge(dst.writer);   // includes dst's allocation event
-  deps.merge(dst.readers);  // nobody may still be reading what we overwrite
-  const copy_route route = route_copy(src.place, dst.place);
-  void* to = dst.ptr;
-  const void* from = src.ptr;
-  const std::size_t n = d.bytes();
-  cudasim::platform* plat = st.plat;
-  const int run_dev = route.run_device < 0 ? 0 : route.run_device;
-  std::function<void(cudasim::stream&)> payload =
-      [plat, to, from, n, route](cudasim::stream& s) {
-        plat->memcpy_async(to, from, n, route.kind, s);
-      };
-  event_ptr ev;
-  if (!st.fault_aware()) {
-    ev = st.backend->run(run_dev, backend_iface::channel::transfer, deps,
-                         payload, "transfer");
-  } else {
-    run_result rr;
-    double backoff = st.retry.backoff_seconds;
-    for (int attempt = 1;; ++attempt) {
-      ev = st.backend->run(run_dev, backend_iface::channel::transfer, deps,
-                           payload, "transfer", &rr);
-      if (rr.status == cudasim::sim_status::success) {
-        break;
-      }
-      if (rr.status == cudasim::sim_status::error_device_lost) {
-        throw detail::device_lost_error(route.run_device);
-      }
-      if (!cudasim::status_transient(rr.status) ||
-          attempt >= st.retry.max_attempts) {
-        throw detail::transfer_error(rr.status);
-      }
-      ++st.report.tasks_retried;
-      const double b = backoff;
-      backoff *= st.retry.backoff_multiplier;
-      payload = [plat, to, from, n, route, b](cudasim::stream& s) {
-        plat->stream_delay(s, b);
-        plat->memcpy_async(to, from, n, route.kind, s);
-      };
-    }
-  }
-  src.readers.add(ev);
-  dst.writer = event_list(ev);
-  dst.readers.clear();
-  if (src.state == msi_state::modified) {
-    src.state = msi_state::shared;
-  }
-  dst.state = msi_state::shared;
-  return ev;
-}
+// issue_copy and the copy-routing helpers live in transfer.cpp now
+// (topology-aware transfer engine, DESIGN.md §6).
 
 namespace {
 
@@ -255,11 +164,11 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
     allocate_instance(st, d, inst);
   }
 
-  // update: obtain a valid copy when the task reads.
+  // update: obtain a valid copy when the task reads. The transfer planner
+  // (transfer.cpp) routes the fill: min-cost source, broadcast trees,
+  // chunking, and coalescing onto an in-flight fill.
   if (mode_reads(dep.mode) && inst.state == msi_state::invalid) {
-    if (data_instance* src = pick_valid_source(d, &inst)) {
-      issue_copy(st, d, *src, inst);
-    } else if (dep.mode == access_mode::read) {
+    if (!request_transfer(st, d, inst) && dep.mode == access_mode::read) {
       throw std::logic_error("cudastf: read of uninitialized logical data '" +
                              d.name() + "'");
     }
@@ -273,9 +182,11 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
     for (auto& other : d.instances()) {
       if (other.get() != &inst) {
         other->state = msi_state::invalid;
+        reset_fill_tracking(*other);  // their fills no longer deliver current contents
       }
     }
     inst.state = msi_state::modified;
+    reset_fill_tracking(inst);
   }
   return l;
 }
@@ -292,6 +203,10 @@ void release_dep(context_state& st, const task_dep_untyped& dep,
     d.readers_since_write.clear();
     inst->writer = done;
     inst->readers.clear();
+    // New contents generation. Bumped on release — not acquire — so a
+    // failed writing task (which never releases) leaves the version alone
+    // and a retried fill can still coalesce onto the in-flight one.
+    ++d.write_version;
   } else {
     st.events_pruned += d.readers_since_write.merge(done);
     st.events_pruned += inst->readers.merge(done);
@@ -310,12 +225,10 @@ event_list write_back_host(context_state& st, logical_data_impl& d) {
   if (host->state != msi_state::invalid) {
     return {};
   }
-  data_instance* src = pick_valid_source(d, host);
-  if (src == nullptr) {
-    return {};
+  if (!request_transfer(st, d, *host)) {
+    return {};  // no valid copy survives: nothing to write back
   }
-  event_ptr ev = issue_copy(st, d, *src, *host);
-  return event_list(ev);
+  return host->writer;  // the fill's (possibly chunked) completion events
 }
 
 logical_data_impl::~logical_data_impl() {
@@ -394,6 +307,7 @@ int pick_heft_device(context_state& st, const task_dep_untyped* const* deps,
     }
     const cudasim::device_state& dev = st.plat->device(d);
     double transfer = 0.0;
+    double ready = 0.0;  // when the inputs are estimated to be available
     double work = 5.0e-6;  // fixed per-task floor (launch latency scale)
     for (std::size_t i = 0; i < n_deps; ++i) {
       logical_data_impl& data = *deps[i]->data;
@@ -403,10 +317,33 @@ int pick_heft_device(context_state& st, const task_dep_untyped* const* deps,
       data_instance* inst = data.find_instance(data_place::device(d));
       const bool local = inst != nullptr && inst->state != msi_state::invalid;
       if (!local) {
-        transfer += bytes / dev.desc().host_link_bw;
+        // A valid copy on a healthy peer device arrives over the p2p link;
+        // only host-resident data pays the (slower) host link. The copy can
+        // only start once the holder's queued work has produced the data.
+        int src_dev = -1;
+        for (const auto& other : data.instances()) {
+          if (other->state != msi_state::invalid && other->allocated &&
+              other->place.type() == data_place::kind::device &&
+              other->place.device_index() != d &&
+              !st.device_blacklisted(other->place.device_index())) {
+            src_dev = other->place.device_index();
+            break;
+          }
+        }
+        if (src_dev >= 0) {
+          transfer += bytes / dev.desc().p2p_bw;
+          ready = std::max(ready,
+                           st.heft_load[static_cast<std::size_t>(src_dev)]);
+        } else {
+          transfer += bytes / dev.desc().host_link_bw;
+        }
       }
     }
-    const double finish = st.heft_load[static_cast<std::size_t>(d)] + transfer + work;
+    // Earliest finish time: the task starts when both the device is free
+    // and its inputs exist, then pays the fetch and the execution.
+    const double finish =
+        std::max(st.heft_load[static_cast<std::size_t>(d)], ready) + transfer +
+        work;
     if (best < 0 || finish < best_finish) {
       best = d;
       best_finish = finish;
@@ -477,14 +414,18 @@ void* context_state::alloc_with_eviction(int device, std::size_t bytes,
 
     event_list free_deps;
     if (victim->state == msi_state::modified) {
-      // Only valid copy: stage to host memory first.
-      data_instance& host = victim_data->instance_at(data_place::host());
-      if (!host.allocated) {
-        host.ptr = ::operator new(victim_data->bytes());
-        host.allocated = true;
+      // Only valid copy: stage it somewhere safe first. The planner prefers
+      // a healthy peer device with pool headroom (one p2p hop); otherwise
+      // fall back to the host round-trip.
+      if (!stage_eviction_to_peer(*this, *victim_data, *victim, device)) {
+        data_instance& host = victim_data->instance_at(data_place::host());
+        if (!host.allocated) {
+          host.ptr = ::operator new(victim_data->bytes());
+          host.allocated = true;
+        }
+        issue_copy(*this, *victim_data, *victim, host);
+        host.state = msi_state::modified;  // device copy is about to vanish
       }
-      issue_copy(*this, *victim_data, *victim, host);
-      host.state = msi_state::modified;  // device copy is about to vanish
     }
     free_deps.merge(victim->readers);
     free_deps.merge(victim->writer);
@@ -494,6 +435,7 @@ void* context_state::alloc_with_eviction(int device, std::size_t bytes,
     victim->state = msi_state::invalid;
     victim->readers.clear();
     victim->writer.clear();
+    reset_fill_tracking(*victim);
     backend->mutable_stats().evictions += 1;
   }
 }

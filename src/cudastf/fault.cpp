@@ -9,6 +9,7 @@
 #include "cudastf/data.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/recover.hpp"
+#include "cudastf/transfer.hpp"
 
 namespace cudastf {
 
@@ -236,6 +237,7 @@ void context_state::blacklist_device(int device) {
         inst->ptr = nullptr;
         inst->readers.clear();
         inst->writer.clear();
+        reset_fill_tracking(*inst);
       }
       // Composite reservations keep their mapping until the data dies;
       // invalidating the instance is enough to keep them unused.

@@ -36,6 +36,21 @@ struct backend_stats {
   /// Dependency events that reached the backend and had to be wired
   /// (stream waits / graph edges). Pruned events never show up here.
   std::uint64_t deps_wired = 0;
+
+  // --- transfer planner (DESIGN.md §6) ---
+  /// Fill requests that joined a copy already in flight for the same
+  /// (data, place, contents) instead of issuing a duplicate.
+  std::uint64_t copies_coalesced = 0;
+  /// Copies sourced from an instance whose own fill was still in flight —
+  /// the edges of a broadcast tree beyond the root.
+  std::uint64_t broadcast_fanout = 0;
+  /// Chunk segments issued for transfers split above chunk_bytes (counted
+  /// only when a transfer was actually split).
+  std::uint64_t chunks_issued = 0;
+  /// Payload bytes moved across peer (NVLink-like) links.
+  std::uint64_t p2p_bytes = 0;
+  /// Payload bytes moved across the host (PCIe-like) link.
+  std::uint64_t host_link_bytes = 0;
 };
 
 /// Outcome of one run() submission (DESIGN.md §5). The platform never

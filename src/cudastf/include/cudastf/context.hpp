@@ -163,6 +163,13 @@ class context {
   /// paper scale without host-side numerics (see DESIGN.md §1).
   void set_compute_payloads(bool on) { st_->compute_payloads = on; }
 
+  /// Transfer-planner knobs (DESIGN.md §6): min-cost routing, broadcast
+  /// trees, chunking threshold, in-flight coalescing, peer eviction
+  /// staging. Each mechanism toggles independently for ablation; mutate
+  /// before submitting the work it should affect.
+  transfer_config& transfer_options() { return st_->xfer; }
+  const transfer_config& transfer_options() const { return st_->xfer; }
+
   cudasim::platform& platform() { return *st_->plat; }
   const backend_stats& stats() const { return st_->backend->stats(); }
 

@@ -13,6 +13,7 @@
 #include "cudastf/backend.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
+#include "cudastf/transfer.hpp"
 
 namespace cudastf {
 
@@ -55,6 +56,24 @@ struct context_state {
   /// Appends allocation-completion events to `out`; throws oom_error
   /// (derives std::bad_alloc) if nothing can be evicted.
   void* alloc_with_eviction(int device, std::size_t bytes, event_list& out);
+
+  // --- transfer planner (transfer.cpp, DESIGN.md §6) ---
+
+  /// Planner configuration; every mechanism individually toggleable
+  /// (ctx.transfer_options()).
+  transfer_config xfer;
+
+  /// One record per planned transfer while xfer.trace is set.
+  std::vector<transfer_record> xfer_trace;
+
+  /// Outbound copies the planner has issued and believes may still be in
+  /// flight; pruned lazily against event completion. The routing score uses
+  /// the per-source count as a copy-engine occupancy estimate.
+  struct outbound_copy {
+    event_ptr done;   ///< completion of the copy's last segment
+    int device = -1;  ///< source: device index, or -1 for the host
+  };
+  std::vector<outbound_copy> xfer_outbound;
 
   void sweep_registry();
 

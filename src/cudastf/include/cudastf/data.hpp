@@ -47,6 +47,23 @@ struct data_instance {
   std::uint64_t last_use = 0;
   event_list readers;  ///< pending ops reading this instance
   event_list writer;   ///< pending op(s) writing this instance
+
+  // --- transfer-planner bookkeeping (transfer.cpp, DESIGN.md §6) ---
+  /// Contents generation (logical_data_impl::write_version) the last fill
+  /// into this buffer delivers; a fill is only reusable while it matches.
+  std::uint64_t fill_version = 0;
+  /// A fill into the current backing buffer was issued and recorded below.
+  bool fill_pending = false;
+  /// Source of that fill: device index, -1 for host, -2 for none.
+  int fill_src_device = -2;
+  /// Hops from the broadcast root (0 = copied from a settled source).
+  std::uint32_t fill_depth = 0;
+  /// Estimated seconds until this instance is fully valid, measured at
+  /// issue time — the routing score charges it when chaining off us.
+  double fill_ready_cost = 0.0;
+  /// Per-chunk completion events of the fill; a tree child whose chunking
+  /// matches depends chunk-by-chunk instead of on the whole fill.
+  std::vector<event_ptr> fill_chunks;
 };
 
 /// Type-erased core of logical_data<T>. All mutation happens under the
@@ -79,6 +96,12 @@ class logical_data_impl {
   // Task-level STF bookkeeping (RAW/WAR/WAW ordering, §II-B).
   event_list last_writer;
   event_list readers_since_write;
+
+  /// Contents generation: bumped when a writing task's completion is
+  /// recorded (release_dep). The transfer planner tags fills with it so a
+  /// pending fill can only be joined while it still delivers the current
+  /// contents (coalescing, DESIGN.md §6).
+  std::uint64_t write_version = 1;
 
   /// Failure id (error_report) that poisoned this data, 0 while healthy.
   /// A failed task poisons the data it would have written; dependents are
@@ -138,11 +161,15 @@ data_instance* pick_valid_source(logical_data_impl& d,
                                  const data_instance* exclude);
 
 /// Internal, exposed for the recovery engine: issues the asynchronous
-/// transfer making `dst` a valid copy of `src`, retrying transient link
-/// faults in fault-aware mode. Throws detail::device_lost_error /
-/// detail::transfer_error on permanent failure.
-event_ptr issue_copy(context_state& st, logical_data_impl& d,
-                     data_instance& src, data_instance& dst);
+/// transfer making `dst` a valid copy of `src` (possibly as several
+/// pipelined chunks; see transfer.cpp), retrying transient link faults in
+/// fault-aware mode. Returns the completion events of every segment.
+/// Throws detail::device_lost_error / detail::transfer_error on permanent
+/// failure; a partial submission (some chunks accepted) is never retried
+/// and also surfaces as transfer_error, with the accepted segments left
+/// guarding src/dst.
+event_list issue_copy(context_state& st, logical_data_impl& d,
+                      data_instance& src, data_instance& dst);
 
 /// HEFT-style device selection (§IX extension): picks the device with the
 /// smallest estimated finish time = current estimated load + modelled

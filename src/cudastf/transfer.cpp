@@ -1,0 +1,399 @@
+// Topology-aware transfer engine (DESIGN.md §6).
+//
+// Owns every copy the coherence protocol issues: routes each fill to the
+// min-cost valid source (link bandwidth x copy-engine occupancy x broadcast
+// depth), admits still-filling peers as sources so wide reads fan out as a
+// tree, splits large transfers into pipelined chunks, joins duplicate
+// requests onto in-flight fills, and stages evictions to peers with pool
+// headroom instead of the host round-trip. The protocol in data.cpp decides
+// *that* data moves; this file decides *how*.
+#include "cudastf/transfer.hpp"
+
+#include <limits>
+
+#include "cudastf/context_state.hpp"
+#include "cudastf/data.hpp"
+#include "cudastf/error.hpp"
+#include "cudastf/recover.hpp"
+
+namespace cudastf {
+
+namespace {
+
+int place_device(const data_place& p) {
+  switch (p.type()) {
+    case data_place::kind::device:
+      return p.device_index();
+    case data_place::kind::composite:
+      return p.composite_info().devices.front();
+    default:
+      return -1;  // host
+  }
+}
+
+/// A copy is lowered as a dual-engine peer copy only between two plain
+/// device places on distinct devices; composite (VMM page-mapped) backing
+/// keeps the legacy single-engine device_to_device lowering.
+bool is_peer_route(const data_instance& src, const data_instance& dst) {
+  return src.place.type() == data_place::kind::device &&
+         dst.place.type() == data_place::kind::device &&
+         src.place.device_index() != dst.place.device_index();
+}
+
+struct copy_route {
+  cudasim::memcpy_kind kind;
+  int run_device;  ///< device whose copy engine leads the transfer
+};
+
+copy_route route_copy(const data_place& src, const data_place& dst) {
+  const int s = place_device(src);
+  const int d = place_device(dst);
+  if (s < 0 && d < 0) {
+    return {cudasim::memcpy_kind::host_to_host, 0};
+  }
+  if (s < 0) {
+    return {cudasim::memcpy_kind::host_to_device, d};
+  }
+  if (d < 0) {
+    return {cudasim::memcpy_kind::device_to_host, s};
+  }
+  return {cudasim::memcpy_kind::device_to_device, s};
+}
+
+/// True while `inst`'s recorded fill still delivers the current contents
+/// and at least one of its segments has not retired in the simulator.
+bool fill_in_flight(const logical_data_impl& d, const data_instance& inst) {
+  if (!inst.fill_pending || inst.fill_version != d.write_version) {
+    return false;
+  }
+  for (const event_ptr& e : inst.fill_chunks) {
+    if (e && !e->completed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Copy-engine occupancy estimate: planner-issued outbound copies from
+/// `device` (-1 = host) not yet observed complete. Prunes retired entries.
+std::size_t outstanding_from(context_state& st, int device) {
+  std::erase_if(st.xfer_outbound, [](const context_state::outbound_copy& c) {
+    return !c.done || c.done->completed();
+  });
+  std::size_t n = 0;
+  for (const context_state::outbound_copy& c : st.xfer_outbound) {
+    if (c.device == device) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Modelled seconds for one hop src -> dst at instance granularity.
+double link_seconds(context_state& st, int src_dev, int dst_dev,
+                    std::size_t bytes) {
+  const int model_dev = src_dev >= 0 ? src_dev : (dst_dev >= 0 ? dst_dev : 0);
+  const cudasim::device_desc& desc = st.plat->device(model_dev).desc();
+  double bw = desc.host_link_bw;
+  if (src_dev >= 0 && dst_dev >= 0) {
+    bw = src_dev == dst_dev ? desc.hbm_bw : desc.p2p_bw;
+  }
+  return desc.copy_latency + static_cast<double>(bytes) / bw;
+}
+
+/// Number of segments a transfer of `bytes` splits into under `cfg`.
+std::size_t plan_chunks(const transfer_config& cfg, std::size_t bytes) {
+  if (cfg.chunk_bytes == 0 || bytes <= cfg.chunk_bytes || cfg.max_chunks < 2) {
+    return 1;
+  }
+  const std::size_t want = (bytes + cfg.chunk_bytes - 1) / cfg.chunk_bytes;
+  return want < cfg.max_chunks ? want : cfg.max_chunks;
+}
+
+/// Submits one copy segment on the transfer channel, absorbing transient
+/// faults under the context retry policy. Mirrors run_resilient but throws
+/// like the historical issue_copy: device_lost_error for a dead endpoint,
+/// transfer_error when retries are exhausted, the status is not transient,
+/// or the submission was partial (backend.hpp: a partially-executed payload
+/// must never be retried — the prefix would run twice).
+event_ptr run_transfer_op(context_state& st, int run_dev,
+                          const event_list& deps,
+                          std::function<void(cudasim::stream&)> payload) {
+  if (!st.fault_aware()) {
+    return st.backend->run(run_dev, backend_iface::channel::transfer, deps,
+                           payload, "transfer");
+  }
+  run_result rr;
+  double backoff = st.retry.backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    event_ptr ev = st.backend->run(run_dev, backend_iface::channel::transfer,
+                                   deps, payload, "transfer", &rr);
+    if (rr.status == cudasim::sim_status::success) {
+      return ev;
+    }
+    if (rr.status == cudasim::sim_status::error_device_lost) {
+      throw detail::device_lost_error(run_dev);
+    }
+    if (rr.partial || !cudasim::status_transient(rr.status) ||
+        attempt >= st.retry.max_attempts) {
+      throw detail::transfer_error(rr.status);
+    }
+    ++st.report.tasks_retried;
+    const double b = backoff;
+    backoff *= st.retry.backoff_multiplier;
+    cudasim::platform* plat = st.plat;
+    std::function<void(cudasim::stream&)> prev = std::move(payload);
+    payload = [plat, b, prev = std::move(prev)](cudasim::stream& s) {
+      plat->stream_delay(s, b);
+      prev(s);
+    };
+  }
+}
+
+}  // namespace
+
+void reset_fill_tracking(data_instance& inst) {
+  inst.fill_pending = false;
+  inst.fill_version = 0;
+  inst.fill_src_device = -2;
+  inst.fill_depth = 0;
+  inst.fill_ready_cost = 0.0;
+  inst.fill_chunks.clear();
+}
+
+data_instance* pick_transfer_source(context_state& st, logical_data_impl& d,
+                                    const data_instance& dst) {
+  const transfer_config& cfg = st.xfer;
+  if (!cfg.route_by_cost) {
+    return pick_valid_source(d, &dst);
+  }
+  const int dst_dev = place_device(dst.place);
+  const std::size_t bytes = d.bytes();
+  data_instance* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& inst : d.instances()) {
+    if (inst.get() == &dst || inst->state == msi_state::invalid ||
+        !inst->allocated) {
+      continue;
+    }
+    const int src_dev = place_device(inst->place);
+    if (src_dev >= 0 && dst_dev >= 0 &&
+        (st.device_blacklisted(src_dev) || st.plat->device_failed(src_dev))) {
+      continue;  // d2h evacuation off a failed device stays allowed
+    }
+    const bool chained = fill_in_flight(d, *inst);
+    if (chained && !cfg.broadcast_tree) {
+      continue;  // trees disabled: only settled copies are admissible
+    }
+    const double hop = link_seconds(st, src_dev, dst_dev, bytes);
+    const double cost =
+        hop * (1.0 + static_cast<double>(outstanding_from(st, src_dev))) +
+        (chained ? inst->fill_ready_cost : 0.0);
+    if (cost < best_cost) {
+      best = inst.get();
+      best_cost = cost;
+    }
+  }
+  // No scored candidate survived (e.g. every valid copy is a still-filling
+  // peer with trees disabled): fall back to the protocol's order so the
+  // fill still happens.
+  return best != nullptr ? best : pick_valid_source(d, &dst);
+}
+
+event_list issue_copy(context_state& st, logical_data_impl& d,
+                      data_instance& src, data_instance& dst) {
+  const transfer_config& cfg = st.xfer;
+  backend_stats& bs = st.backend->mutable_stats();
+  const std::size_t bytes = d.bytes();
+  const int src_dev = place_device(src.place);
+  const int dst_dev = place_device(dst.place);
+  const bool peer = is_peer_route(src, dst);
+  const copy_route route = route_copy(src.place, dst.place);
+  const int run_dev = route.run_device < 0 ? 0 : route.run_device;
+  cudasim::platform* plat = st.plat;
+
+  const std::size_t nchunks = plan_chunks(cfg, bytes);
+  // Pipelined tree forwarding: when the source's own fill is in flight and
+  // split the same way, segment i only waits for the source's segment i —
+  // a chain of depth k finishes in T + k*T/nchunks instead of (k+1)*T.
+  const bool chainable = fill_in_flight(d, src) &&
+                         src.fill_chunks.size() == nchunks && nchunks > 1;
+  const bool chained = fill_in_flight(d, src);
+  const double ready_cost =
+      link_seconds(st, src_dev, dst_dev, bytes) *
+          (1.0 + static_cast<double>(outstanding_from(st, src_dev))) +
+      (chained ? src.fill_ready_cost : 0.0);
+
+  event_list base_deps;
+  base_deps.merge(dst.writer);   // includes dst's allocation event
+  base_deps.merge(dst.readers);  // nobody may still read what we overwrite
+  if (!chainable) {
+    base_deps.merge(src.writer);  // the data must have been produced
+  }
+
+  event_list evs;
+  std::vector<event_ptr> chunk_evs;
+  chunk_evs.reserve(nchunks);
+  try {
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      const std::size_t lo = bytes * i / nchunks;
+      const std::size_t hi = bytes * (i + 1) / nchunks;
+      const std::size_t seg = hi - lo;
+      void* to = static_cast<char*>(dst.ptr) + lo;
+      const void* from = static_cast<const char*>(src.ptr) + lo;
+      event_list deps = base_deps;
+      if (chainable) {
+        deps.add(src.fill_chunks[i]);
+      }
+      std::function<void(cudasim::stream&)> payload;
+      if (peer) {
+        payload = [plat, to, dst_dev, from, src_dev, seg](cudasim::stream& s) {
+          plat->memcpy_peer_async(to, dst_dev, from, src_dev, seg, s);
+        };
+      } else {
+        const cudasim::memcpy_kind kind = route.kind;
+        payload = [plat, to, from, seg, kind](cudasim::stream& s) {
+          plat->memcpy_async(to, from, seg, kind, s);
+        };
+      }
+      event_ptr ev = run_transfer_op(st, run_dev, deps, std::move(payload));
+      chunk_evs.push_back(ev);
+      evs.add(std::move(ev));
+    }
+  } catch (...) {
+    // Accepted segments keep running; they must guard the source buffer
+    // and the (still-invalid) destination buffer until they retire.
+    st.events_pruned += src.readers.merge(evs);
+    st.events_pruned += dst.writer.merge(evs);
+    reset_fill_tracking(dst);
+    throw;
+  }
+
+  src.readers.merge(evs);
+  dst.writer = evs;
+  dst.readers.clear();
+  if (src.state == msi_state::modified) {
+    src.state = msi_state::shared;
+  }
+  dst.state = msi_state::shared;
+
+  // Planner bookkeeping: the new copy is itself an admissible tree source.
+  dst.fill_pending = true;
+  dst.fill_version = d.write_version;
+  dst.fill_src_device = src_dev;
+  dst.fill_depth = chained ? src.fill_depth + 1 : 0;
+  dst.fill_ready_cost = ready_cost;
+  dst.fill_chunks = std::move(chunk_evs);
+  if (!dst.fill_chunks.empty()) {
+    st.xfer_outbound.push_back({dst.fill_chunks.back(), src_dev});
+  }
+
+  if (src_dev >= 0 && dst_dev >= 0) {
+    if (src_dev != dst_dev) {
+      bs.p2p_bytes += bytes;
+    }
+  } else if (src_dev >= 0 || dst_dev >= 0) {
+    bs.host_link_bytes += bytes;
+  }
+  if (nchunks > 1) {
+    bs.chunks_issued += nchunks;
+  }
+  // Count only edges the tree mechanism admitted: the legacy source order
+  // can also land on a still-filling instance, but that is chaining by
+  // accident, not a planned tree edge.
+  if (chained && cfg.broadcast_tree) {
+    ++bs.broadcast_fanout;
+  }
+  if (cfg.trace) {
+    st.xfer_trace.push_back({src_dev, dst_dev, bytes, nchunks, false});
+  }
+  return evs;
+}
+
+bool request_transfer(context_state& st, logical_data_impl& d,
+                      data_instance& dst) {
+  const transfer_config& cfg = st.xfer;
+  // (d) Coalescing: a fill into this very buffer that still delivers the
+  // current contents is already on its way (typically after a fault-path
+  // MSI rollback re-invalidated the instance) — join it instead of paying
+  // the copy twice. The recorded fill events already sit in dst.writer.
+  if (cfg.coalesce && dst.allocated && dst.fill_pending &&
+      dst.fill_version == d.write_version) {
+    dst.state = msi_state::shared;
+    ++st.backend->mutable_stats().copies_coalesced;
+    if (cfg.trace) {
+      st.xfer_trace.push_back({-2, place_device(dst.place), d.bytes(), 0, true});
+    }
+    return true;
+  }
+  data_instance* src = pick_transfer_source(st, d, dst);
+  if (src == nullptr) {
+    return false;
+  }
+  issue_copy(st, d, *src, dst);
+  return true;
+}
+
+bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
+                            data_instance& victim, int from_device) {
+  if (!st.xfer.peer_eviction) {
+    return false;
+  }
+  cudasim::platform& plat = *st.plat;
+  const std::size_t bytes = d.bytes();
+  int best = -1;
+  std::size_t best_out = 0;
+  for (int p = 0; p < plat.device_count(); ++p) {
+    if (p == from_device || st.device_blacklisted(p) || plat.device_failed(p)) {
+      continue;
+    }
+    const cudasim::device_state& dev = plat.device(p);
+    if (dev.pool_capacity() - dev.pool_used() < bytes) {
+      continue;  // no headroom: parking there would evict in turn
+    }
+    const std::size_t out = outstanding_from(st, p);
+    if (best < 0 || out < best_out) {
+      best = p;
+      best_out = out;
+    }
+  }
+  if (best < 0) {
+    return false;
+  }
+  data_instance& peer = d.instance_at(data_place::device(best));
+  const bool fresh = !peer.allocated;
+  if (fresh) {
+    event_list alloc_events;
+    void* ptr = st.backend->alloc_device(best, bytes, alloc_events);
+    if (ptr == nullptr) {
+      return false;  // pool raced shut: fall back to the host round-trip
+    }
+    peer.ptr = ptr;
+    peer.allocated = true;
+    peer.writer.merge(alloc_events);
+    reset_fill_tracking(peer);
+  }
+  try {
+    issue_copy(st, d, victim, peer);
+  } catch (...) {
+    // Staging failed; accepted segments already guard the buffers. Release
+    // a buffer we created and let the caller take the host path.
+    if (fresh) {
+      event_list free_deps;
+      free_deps.merge(peer.readers);
+      free_deps.merge(peer.writer);
+      st.backend->free_device(best, peer.ptr, free_deps, st.dangling);
+      peer.allocated = false;
+      peer.ptr = nullptr;
+      peer.readers.clear();
+      peer.writer.clear();
+      reset_fill_tracking(peer);
+    }
+    return false;
+  }
+  peer.state = msi_state::modified;  // the victim copy is about to vanish
+  peer.last_use = victim.last_use;   // keep the data's LRU age, not refresh it
+  return true;
+}
+
+}  // namespace cudastf
