@@ -1,0 +1,153 @@
+// Chaos benchmark (DESIGN.md §7) — completed-work ratio and time-to-solution
+// under seeded random fault injection, comparing the two ends of the
+// escalation ladder: poison-and-cancel (no checkpoints; a permanent failure
+// poisons its outputs and cancels the downstream slice of the DAG) versus
+// epoch checkpoint/restart (incremental host snapshots + deterministic
+// replay of the submission log). Same seed per fault rate in both modes, so
+// the injected schedules are identical. `--json` emits the rows as a JSON
+// array (baseline: BENCH_chaos.json at the repo root).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "cudastf/cudastf.hpp"
+
+namespace {
+
+constexpr int kDevices = 4;
+constexpr int kChains = 8;           // independent update chains
+constexpr int kTasks = 160;          // total tasks across all chains
+constexpr std::size_t kN = 1 << 14;  // doubles per chain
+
+struct row {
+  int fault_rate;  // injected faults per 100 tasks
+  const char* mode;
+  std::uint64_t completed;
+  double completed_ratio;
+  double time_s;
+  cudastf::backend_stats stats;
+  cudastf::error_report report;
+};
+
+row run_mode(int fault_rate, bool checkpointing) {
+  auto desc = cudasim::test_desc();
+  desc.mem_capacity = 512u << 20;
+  cudasim::scoped_platform sp(kDevices, desc);
+  cudasim::platform& p = sp.get();
+  if (fault_rate > 0) {
+    // Same seed for both modes at a given rate: identical fault schedules,
+    // so the comparison isolates the recovery policy. Kernel/link/alloc
+    // faults cycle; roughly one in eight is a whole-device fail-stop.
+    p.ensure_fault_injector().schedule_random(
+        /*seed=*/1000ull * static_cast<std::uint64_t>(fault_rate) + 19,
+        /*n_faults=*/fault_rate * kTasks / 100,
+        /*op_span=*/kTasks, kDevices, /*allow_device_fail=*/true);
+  }
+
+  cudastf::context ctx(p);
+  // One attempt per submission: transient faults escalate immediately, so
+  // the bench contrasts the recovery rungs rather than retry absorption.
+  ctx.set_retry_policy({.max_attempts = 1});
+  if (checkpointing) {
+    ctx.enable_checkpointing({.every_n_tasks = 16, .max_restarts = 64});
+  }
+
+  std::vector<std::vector<double>> chains(
+      kChains, std::vector<double>(kN, 1.0));
+  {
+    std::vector<cudastf::logical_data<cudastf::slice<double>>> ld;
+    ld.reserve(kChains);
+    for (int c = 0; c < kChains; ++c) {
+      char name[16];
+      std::snprintf(name, sizeof name, "chain%d", c);
+      ld.push_back(ctx.logical_data(chains[c].data(), kN, name));
+    }
+    for (int t = 0; t < kTasks; ++t) {
+      auto& l = ld[t % kChains];
+      ctx.task(cudastf::exec_place::device(t % kDevices), l.rw())
+              .set_symbol("step")
+              ->*[&p](cudasim::stream& s, cudastf::slice<double> y) {
+                    p.launch_kernel(s, {.name = "step"}, [=] {
+                      for (std::size_t i = 0; i < y.size(); ++i) {
+                        y(i) = y(i) * 0.5 + 1.0;
+                      }
+                    });
+                  };
+    }
+    row r;
+    r.report = ctx.finalize();
+    r.fault_rate = fault_rate;
+    r.mode = checkpointing ? "checkpoint" : "poison";
+    // Every recorded failure — permanent fault or cascaded cancellation —
+    // is a task whose effect never reached the output.
+    const std::uint64_t lost =
+        r.report.failures_total < kTasks ? r.report.failures_total : kTasks;
+    r.completed = kTasks - lost;
+    r.completed_ratio = static_cast<double>(r.completed) / kTasks;
+    r.time_s = p.now();
+    r.stats = ctx.stats();
+    return r;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  if (json) {
+    std::printf("[\n");
+  } else {
+    std::printf(
+        "Chaos: %d-task chain workload on %d devices under seeded random "
+        "faults\n\n",
+        kTasks, kDevices);
+    std::printf("%-7s %-11s %-10s %-10s %-10s %-6s %-8s %-9s %-9s\n", "rate",
+                "mode", "completed", "ratio", "time(ms)", "ckpts", "rollbk",
+                "replayed", "failures");
+  }
+  bool first = true;
+  for (int rate : {0, 1, 2, 4, 8}) {
+    for (bool ckpt : {false, true}) {
+      const row r = run_mode(rate, ckpt);
+      if (json) {
+        std::printf(
+            "%s  {\"fault_rate\": %d, \"mode\": \"%s\", \"tasks\": %d, "
+            "\"completed\": %llu, \"completed_ratio\": %.4f, "
+            "\"time_s\": %.6f, \"checkpoints\": %llu, "
+            "\"checkpoint_mb\": %.2f, \"rollbacks\": %llu, "
+            "\"tasks_replayed\": %llu, \"failures\": %llu, "
+            "\"cancelled\": %llu}",
+            first ? "" : ",\n", r.fault_rate, r.mode, kTasks,
+            static_cast<unsigned long long>(r.completed), r.completed_ratio,
+            r.time_s,
+            static_cast<unsigned long long>(r.stats.checkpoints_taken),
+            static_cast<double>(r.stats.checkpoint_bytes) / 1e6,
+            static_cast<unsigned long long>(r.stats.rollbacks),
+            static_cast<unsigned long long>(r.stats.tasks_replayed),
+            static_cast<unsigned long long>(r.report.failures_total),
+            static_cast<unsigned long long>(r.report.tasks_cancelled));
+        first = false;
+      } else {
+        std::printf("%-7d %-11s %-10llu %-10.4f %-10.3f %-6llu %-8llu %-9llu "
+                    "%-9llu\n",
+                    r.fault_rate, r.mode,
+                    static_cast<unsigned long long>(r.completed),
+                    r.completed_ratio, r.time_s * 1e3,
+                    static_cast<unsigned long long>(r.stats.checkpoints_taken),
+                    static_cast<unsigned long long>(r.stats.rollbacks),
+                    static_cast<unsigned long long>(r.stats.tasks_replayed),
+                    static_cast<unsigned long long>(r.report.failures_total));
+      }
+    }
+  }
+  if (json) {
+    std::printf("\n]\n");
+  } else {
+    std::printf(
+        "\nExpected shape: poison-and-cancel loses a growing slice of the\n"
+        "DAG as the fault rate rises; checkpoint/restart keeps the\n"
+        "completed-work ratio at (or near) 1.0 by replaying the epoch on\n"
+        "the survivors, paying a bounded time-to-solution overhead.\n");
+  }
+  return 0;
+}

@@ -42,7 +42,11 @@ int main() {
       eval.dot_product(cxs, cys, xs.size(), context.top_level());
   fhe::ciphertext result;
   eval.download(acc, result);
-  ctx.finalize();
+  const cudastf::error_report report = ctx.finalize();
+  if (!report.ok()) {
+    std::fputs(report.to_string().c_str(), stderr);
+    return 1;
+  }
 
   seal_like::Plaintext decrypted;
   decryptor.decrypt(result, decrypted);

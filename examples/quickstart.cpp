@@ -63,7 +63,11 @@ int main() {
       [&](cudasim::stream& s, slice<const double> dY, slice<double> dZ) {
         add(p, s, dY, dZ);
       };
-  ctx.finalize();
+  const error_report report = ctx.finalize();
+  if (!report.ok()) {
+    std::fputs(report.to_string().c_str(), stderr);
+    return 1;
+  }
 
   std::printf("X[0] = %.1f (expect 2), Y[0] = %.1f (expect 4), Z[0] = %.1f "
               "(expect 9)\n",

@@ -22,7 +22,13 @@ int main() {
   cudastf::context ctx(machine.get());
   const std::size_t tasks =
       blaslib::tiled_cholesky_stf(ctx, tiles, {.block = block});
-  ctx.finalize();
+  const cudastf::error_report report = ctx.finalize();
+  if (!report.ok()) {
+    // Structured cause-chain rendering (DESIGN.md §5/§7): which failure
+    // happened, what data it poisoned, which tasks were cancelled why.
+    std::fputs(report.to_string().c_str(), stderr);
+    return 1;
+  }
 
   std::vector<double> out(n * n, 0.0);
   tiles.export_dense(out.data());

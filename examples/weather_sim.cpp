@@ -21,7 +21,11 @@ int main(int argc, char** argv) {
                                   {.io_interval = 20});
   auto before = miniweather::reductions(c, sim.host_fields());
   sim.run();
-  ctx.finalize();
+  const cudastf::error_report report = ctx.finalize();
+  if (!report.ok()) {
+    std::fputs(report.to_string().c_str(), stderr);
+    return 1;
+  }
   auto after = miniweather::reductions(c, sim.host_fields());
 
   std::printf("miniWeather %zux%zu, %zu steps, backend: %s, devices: %d\n",

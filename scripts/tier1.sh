@@ -1,27 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then the
 # Table I task-overhead benchmark in JSON mode. Exits nonzero on any
-# failure. Usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [build-dir]
+# failure. Usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [--chaos]
+#                                  [build-dir]
 #
 # --sanitize additionally builds an ASan+UBSan tree (build-asan) and runs
-# the fault-injection and eviction tests under it — the error and recovery
-# paths are where lifetime bugs would hide.
+# the fault-injection, checkpoint and eviction tests under it — the error
+# and recovery paths are where lifetime bugs would hide.
 #
 # --bench-smoke additionally runs every --json benchmark once and diffs the
 # set of JSON record keys against the checked-in BENCH_*.json baselines —
 # a renamed or dropped counter fails fast, without pinning the (noisy)
 # values themselves.
+#
+# --chaos additionally runs a seeded fault-injection soak: the checkpoint
+# and fault-injection suites loop over distinct seeds until the wall-clock
+# budget (CHAOS_BUDGET seconds, default 60) is spent. Seeds are printed so
+# a failure reproduces with CHAOS_SEED=<n>.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=0
 bench_smoke=0
+chaos=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --chaos) chaos=1 ;;
     *)
-      echo "usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [build-dir]" >&2
+      echo "usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [--chaos] [build-dir]" >&2
       exit 2
       ;;
   esac
@@ -49,7 +57,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   for pair in \
     "bench_table1_task_overhead:BENCH_table1.json" \
     "bench_fig3_oom_cholesky:BENCH_fig3.json" \
-    "bench_table2_reduction:BENCH_table2.json"; do
+    "bench_table2_reduction:BENCH_table2.json" \
+    "bench_chaos:BENCH_chaos.json"; do
     bench="${pair%%:*}"
     baseline="$repo/${pair##*:}"
     out="$smoke_dir/$bench.json"
@@ -65,13 +74,40 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "bench-smoke: all benchmark JSON schemas match their baselines"
 fi
 
+if [[ "$chaos" == 1 ]]; then
+  budget="${CHAOS_BUDGET:-60}"
+  deadline=$((SECONDS + budget))
+  seed="${CHAOS_SEED:-1}"
+  rounds=0
+  # The suites are already seeded internally (fault schedules are part of
+  # each test); gtest_shuffle varies the interleaving per round so the soak
+  # explores pool-recycling and ordering interactions, deterministically
+  # per printed seed. The virtual-time DES makes each round cheap; the
+  # watchdog converts any hang into a diagnostic failure well inside the
+  # budget.
+  while (( SECONDS < deadline )); do
+    echo "chaos: round $rounds (seed $seed, $((deadline - SECONDS))s left)"
+    "$build/tests/test_checkpoint" \
+      --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
+      --gtest_brief=1
+    "$build/tests/test_fault_injection" \
+      --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
+      --gtest_brief=1
+    seed=$((seed + 1))
+    rounds=$((rounds + 1))
+  done
+  echo "chaos: $rounds rounds completed within ${budget}s budget"
+fi
+
 if [[ "$sanitize" == 1 ]]; then
   asan_build="$repo/build-asan"
   cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
   cmake --build "$asan_build" -j "$jobs" \
-    --target test_fault_injection test_eviction
+    --target test_fault_injection test_eviction test_checkpoint
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_fault_injection"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_eviction"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_checkpoint"
 fi

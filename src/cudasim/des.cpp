@@ -148,8 +148,70 @@ void timeline::drain() {
     throw std::logic_error(
         "cudasim: drain() left live operations behind — a submitted op "
         "depends on a node that was never submitted (dependency cycle or "
-        "forgotten submit)");
+        "forgotten submit)" +
+        stuck_report());
   }
+}
+
+std::string timeline::stuck_report() const {
+  // Walk the slabs directly: every live node sits in a slab, fresh slab
+  // nodes default-initialize submitted=false, and recycled pool nodes keep
+  // done=true, so "submitted && !done" identifies exactly the stuck set.
+  static constexpr std::size_t max_lines = 8;
+  std::string out;
+  std::size_t shown = 0;
+  std::size_t total = 0;
+  for (std::size_t si = 0; si < slabs_.size(); ++si) {
+    const std::size_t count =
+        si + 1 == slabs_.size() ? slab_used_ : slab_nodes;
+    for (std::size_t ni = 0; ni < count; ++ni) {
+      const op_node& n = slabs_[si][ni];
+      if (!n.submitted || n.done) {
+        continue;
+      }
+      ++total;
+      if (shown == max_lines) {
+        continue;
+      }
+      ++shown;
+      out += "\n  #";
+      out += std::to_string(n.id);
+      out += " '";
+      out += n.name;
+      out += "'";
+      if (n.device >= 0) {
+        out += " device ";
+        out += std::to_string(n.device);
+      }
+      switch (n.eng != nullptr ? n.eng->kind() : engine_kind::none) {
+        case engine_kind::compute:
+          out += " [compute]";
+          break;
+        case engine_kind::copy_in:
+          out += " [copy_in]";
+          break;
+        case engine_kind::copy_out:
+          out += " [copy_out]";
+          break;
+        case engine_kind::host:
+          out += " [host]";
+          break;
+        case engine_kind::none:
+          break;
+      }
+      out += n.unmet > 0 ? " waiting on " + std::to_string(n.unmet) +
+                               " unfinished predecessor(s)"
+                         : " ready but never scheduled";
+    }
+  }
+  if (out.empty()) {
+    return out;
+  }
+  std::string head = "\nstuck operations (" + std::to_string(total) + "):";
+  if (total > shown) {
+    out += "\n  ... and " + std::to_string(total - shown) + " more";
+  }
+  return head + out;
 }
 
 void timeline::gc() {
@@ -171,7 +233,8 @@ void timeline::drain_until(const op_node* node) {
     if (events_.empty()) {
       throw std::logic_error(
           "cudasim: waiting on an operation that can never complete "
-          "(missing submit or dependency cycle)");
+          "(missing submit or dependency cycle)" +
+          stuck_report());
     }
     pending_event ev = events_.top();
     events_.pop();

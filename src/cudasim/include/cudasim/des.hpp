@@ -265,6 +265,12 @@ class timeline {
   /// Runs the simulation until the given node has completed.
   void drain_until(const op_node* node);
 
+  /// Progress-watchdog diagnostic: lists every submitted-but-incomplete
+  /// operation (name, device, engine, unmet-dependency count) so a stuck
+  /// DES fails fast with the offending ops named instead of hanging the
+  /// caller. Appended to the errors drain()/drain_until() throw.
+  std::string stuck_report() const;
+
   /// Recycles completed nodes into the slab pool. Callers must first drop
   /// every external pointer to completed nodes (see
   /// platform::collect_handles()).

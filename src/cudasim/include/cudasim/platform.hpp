@@ -208,7 +208,13 @@ class platform {
   void unregister_event(event* e) { events_.erase(e); }
   /// Drops handle pointers to completed nodes so drain() can reclaim them.
   void collect_handles();
-  double host_memcpy_bw() const { return 50.0e9; }
+  /// Bandwidth of host-to-host staging copies (checkpoint snapshots of
+  /// host-resident data, eviction staging). Configurable so checkpoint
+  /// overhead studies can model slow staging buffers in virtual time.
+  double host_memcpy_bw() const { return host_memcpy_bw_; }
+  void set_host_memcpy_bw(double bytes_per_second) {
+    host_memcpy_bw_ = bytes_per_second;
+  }
 
   /// Accounts one submission with the injector (if armed) and returns the
   /// injected status. Must be called with the platform mutex held; shared
@@ -227,6 +233,7 @@ class platform {
   mutable std::recursive_mutex mu_;
   int current_ = 0;
   bool copy_payloads_ = true;
+  double host_memcpy_bw_ = 50.0e9;
   std::unordered_set<stream*> streams_;
   std::unordered_set<event*> events_;
   std::shared_ptr<fault_injector> injector_;

@@ -2,6 +2,7 @@
 #include <stdexcept>
 
 #include "cudastf/backend.hpp"
+#include "cudastf/error.hpp"
 
 namespace cudastf {
 
@@ -121,6 +122,15 @@ event_ptr graph_backend::run(int device, channel ch, const event_list& deps,
   }
   ++stats_.tasks;
 
+  if (st != cudasim::sim_status::success && !moved) {
+    // Clean refusal: nothing was recorded, but with dependencies present
+    // `out` still points at the dep-join marker we created above. Returning
+    // an event for it would hand the caller a handle to work that never
+    // existed — a retry (or a checkpoint epoch in flight) would then chain
+    // off a node that represents no submission. Report "nothing to wait
+    // for" instead; the unreferenced join marker executes as a no-op.
+    return nullptr;
+  }
   if (!out.valid()) {
     return nullptr;  // nothing recorded, nothing to wait for
   }
@@ -173,12 +183,53 @@ void graph_backend::flush() {
     plat_->launch_host_func(*epoch_stream_, {}, exec->last_build_cost_seconds());
   }
   exec->launch(*epoch_stream_);
+  if (epoch_stream_->status() != cudasim::sim_status::success) [[unlikely]] {
+    launch_refused(*exec);
+  }
   ++stats_.graph_launches;
   ++stats_.epochs;
 
   auto done = std::make_shared<stream_event>(*plat_);
   done->ev.record(*epoch_stream_);
   last_epoch_done_ = std::move(done);
+}
+
+void graph_backend::launch_refused(cudasim::graph_exec& exec) {
+  // A refused whole-epoch launch is fail-stop: none of the epoch's nodes
+  // were enqueued, and the sticky status would silently refuse every later
+  // epoch too — the pre-fix behavior dropped all remaining work while
+  // finalize still reported success. Transient refusals (an injected
+  // kernel fault hitting the launch itself) are safe to relaunch in place
+  // precisely because nothing ran; permanent ones (a node targets a failed
+  // device) must surface so fence/checkpoint/restart callers can escalate.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const cudasim::sim_status st = epoch_stream_->status();
+    if (st == cudasim::sim_status::success) {
+      return;
+    }
+    if (st == cudasim::sim_status::error_device_lost) {
+      break;
+    }
+    epoch_stream_->clear_status();
+    ++stats_.graph_launch_retries;
+    exec.launch(*epoch_stream_);
+  }
+  const cudasim::sim_status st = epoch_stream_->status();
+  if (st == cudasim::sim_status::success) {
+    return;
+  }
+  epoch_stream_->clear_status();
+  if (st == cudasim::sim_status::error_device_lost) {
+    int dead = -1;
+    for (int d = 0; d < plat_->device_count(); ++d) {
+      if (plat_->device_failed(d)) {
+        dead = d;
+        break;
+      }
+    }
+    throw detail::device_lost_error(dead);
+  }
+  throw detail::transfer_error(st);
 }
 
 void graph_backend::fence() { flush(); }

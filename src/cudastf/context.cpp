@@ -98,10 +98,85 @@ data_impl_ptr context::register_impl(std::vector<std::size_t> extents,
   auto impl = std::make_shared<logical_data_impl>(
       st_, std::move(extents), elem_size, host_ptr, std::move(name));
   st_->registry.emplace_back(impl);
+  if (st_->ckpt != nullptr) {
+    st_->ckpt->on_register(impl);
+  }
   if (st_->registry.size() % 256 == 0) {
     st_->sweep_registry();
   }
   return impl;
+}
+
+void context_state::declare_order(std::string before, std::string after) {
+  // The new edge (before -> after) closes a cycle exactly when `before` is
+  // already reachable from `after`. DFS over the declared edges, keeping
+  // the path for the diagnostic.
+  std::vector<std::string> path{after};
+  const auto dfs = [&](const auto& self, const std::string& node) -> bool {
+    if (node == before) {
+      return true;
+    }
+    for (const auto& e : order_edges) {
+      if (e.first != node) {
+        continue;
+      }
+      // Declared edges are acyclic by induction, so no visited set is
+      // needed: every DFS path is simple.
+      path.push_back(e.second);
+      if (self(self, e.second)) {
+        return true;
+      }
+      path.pop_back();
+    }
+    return false;
+  };
+  if (before == after || dfs(dfs, after)) {
+    // On success the path reads after -> ... -> before; prepending `before`
+    // renders the full cycle the new edge would close.
+    std::string msg = "cudastf: declared task-order cycle: '" + before + "'";
+    for (const std::string& s : path) {
+      msg += " -> '" + s + "'";
+    }
+    throw std::logic_error(msg);
+  }
+  order_edges.emplace_back(std::move(before), std::move(after));
+}
+
+event_list context_state::order_wait(std::string_view symbol) const {
+  event_list out;
+  for (const auto& e : order_edges) {
+    if (e.second != symbol) {
+      continue;
+    }
+    for (const auto& d : order_done) {
+      if (d.first == e.first) {
+        out.merge(d.second);
+      }
+    }
+  }
+  return out;
+}
+
+void context_state::order_record(std::string_view symbol,
+                                 const event_list& done) {
+  bool constrained = false;
+  for (const auto& e : order_edges) {
+    if (e.first == symbol) {
+      constrained = true;
+      break;
+    }
+  }
+  if (!constrained) {
+    return;
+  }
+  for (auto& d : order_done) {
+    if (d.first == symbol) {
+      d.second.prune_completed_entries();
+      d.second.merge(done);
+      return;
+    }
+  }
+  order_done.emplace_back(std::string(symbol), done);
 }
 
 error_report context::finalize() {
@@ -110,22 +185,37 @@ error_report context::finalize() {
   // the copies overlap with remaining device work (§II-B). Poisoned data
   // is skipped inside write_back_host; a write-back that itself fails is
   // recorded as data_lost instead of crashing the epilogue (§5).
-  event_list pending;
-  for (auto& w : st_->registry) {
-    if (auto d = w.lock()) {
-      try {
-        pending.merge(write_back_host(*st_, *d));
-      } catch (const std::exception& e) {
-        d->poisoned_by = st_->record_failure(
-            failure_kind::data_lost, d->name(), -1, 1,
-            std::string("write-back failed: ") + e.what());
+  for (int round = 0; round < 2; ++round) {
+    event_list pending;
+    for (auto& w : st_->registry) {
+      if (auto d = w.lock()) {
+        try {
+          pending.merge(write_back_host(*st_, *d));
+        } catch (const std::exception& e) {
+          d->poisoned_by = st_->record_failure(
+              failure_kind::data_lost, d->name(), -1, 1,
+              std::string("write-back failed: ") + e.what());
+        }
       }
     }
+    pending.merge(st_->dangling);
+    st_->dangling.clear();
+    try {
+      st_->backend->fence();
+    } catch (const std::exception& e) {
+      // The final epoch's launch was refused permanently (graph backend,
+      // DESIGN.md §7). With a committed checkpoint the work is replayed on
+      // the survivors and written back again; otherwise the loss is
+      // recorded instead of crashing the epilogue.
+      if (round == 0 && detail::try_epoch_restart(*st_, nullptr, 0)) {
+        continue;
+      }
+      st_->record_failure(failure_kind::device_lost, "finalize", -1, 1,
+                          std::string("final epoch refused: ") + e.what());
+    }
+    st_->backend->wait(pending);
+    break;
   }
-  pending.merge(st_->dangling);
-  st_->dangling.clear();
-  st_->backend->fence();
-  st_->backend->wait(pending);
   st_->backend->wait_idle();
   st_->sweep_registry();
   return st_->report;

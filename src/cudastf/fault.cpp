@@ -52,8 +52,38 @@ std::string error_report::to_string() const {
                     " re-routed, " + std::to_string(alloc_retries) +
                     " alloc retries, " + std::to_string(devices_blacklisted) +
                     " device(s) blacklisted\n";
-  for (const task_failure& f : failures) {
-    out += "  #" + std::to_string(f.id) + " " + failure_kind_name(f.kind) +
+
+  // Cause-chain tree: each failure hangs under its first recorded cause
+  // (ids only ever point backwards, so the graph is a DAG and first-cause
+  // parenting yields a forest). Roots are failures with no recorded cause.
+  const std::size_t nf = failures.size();
+  std::vector<std::vector<std::size_t>> children(nf);
+  std::vector<char> is_root(nf, 1);
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (failures[i].caused_by.empty()) {
+      continue;
+    }
+    const std::uint64_t parent_id = failures[i].caused_by.front();
+    for (std::size_t j = 0; j < i; ++j) {
+      if (failures[j].id == parent_id) {
+        children[j].push_back(i);
+        is_root[i] = 0;
+        break;
+      }
+    }
+    // Parent beyond the recording cap: the failure renders as a root but
+    // keeps its textual "(caused by #...)" pointer.
+  }
+
+  const auto render = [&](const auto& self, std::size_t i,
+                          std::size_t depth) -> void {
+    const task_failure& f = failures[i];
+    std::string indent(2 + 2 * depth, ' ');
+    out += indent;
+    if (depth > 0) {
+      out += "└─ ";
+    }
+    out += "#" + std::to_string(f.id) + " " + failure_kind_name(f.kind) +
            " '" + f.symbol + "'";
     if (f.device >= 0) {
       out += " on device " + std::to_string(f.device);
@@ -72,6 +102,25 @@ std::string error_report::to_string() const {
       out += ")";
     }
     out += "\n";
+    if (!f.poisoned.empty()) {
+      out += indent;
+      if (depth > 0) {
+        out += "   ";
+      }
+      out += "poisoned data:";
+      for (const std::string& name : f.poisoned) {
+        out += " '" + name + "'";
+      }
+      out += "\n";
+    }
+    for (std::size_t c : children[i]) {
+      self(self, c, depth + 1);
+    }
+  };
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (is_root[i]) {
+      render(render, i, 0);
+    }
   }
   if (failures_total > failures.size()) {
     out += "  ... " + std::to_string(failures_total - failures.size()) +
@@ -247,6 +296,20 @@ void context_state::blacklist_device(int device) {
 
 namespace detail {
 
+namespace {
+
+// Attaches a poisoned-data name to the failure record `id` (when it made it
+// under the recording cap) so to_string() can render failure → poisoned
+// data → cancelled dependents.
+void record_poisoned(context_state& st, std::uint64_t id,
+                     const std::string& name) {
+  if (!st.report.failures.empty() && st.report.failures.back().id == id) {
+    st.report.failures.back().poisoned.push_back(name);
+  }
+}
+
+}  // namespace
+
 bool cancel_if_poisoned(context_state& st, const task_dep_untyped* const* deps,
                         std::size_t n, std::string_view symbol) {
   std::vector<std::uint64_t> causes;
@@ -266,6 +329,7 @@ bool cancel_if_poisoned(context_state& st, const task_dep_untyped* const* deps,
   for (std::size_t i = 0; i < n; ++i) {
     if (mode_writes(deps[i]->mode) && deps[i]->data->poisoned_by == 0) {
       deps[i]->data->poisoned_by = id;
+      record_poisoned(st, id, deps[i]->data->name());
     }
   }
   return true;
@@ -281,6 +345,7 @@ std::uint64_t fail_task(context_state& st, const task_dep_untyped* const* deps,
   for (std::size_t i = 0; i < n; ++i) {
     if (mode_writes(deps[i]->mode) && deps[i]->data->poisoned_by == 0) {
       deps[i]->data->poisoned_by = id;
+      record_poisoned(st, id, deps[i]->data->name());
     }
   }
   return id;

@@ -51,6 +51,20 @@ struct backend_stats {
   std::uint64_t p2p_bytes = 0;
   /// Payload bytes moved across the host (PCIe-like) link.
   std::uint64_t host_link_bytes = 0;
+
+  // --- checkpoint/restart (DESIGN.md §7) ---
+  /// Committed epoch checkpoints (aborted attempts are not counted).
+  std::uint64_t checkpoints_taken = 0;
+  /// Payload bytes snapshotted to host staging buffers (dirty data only).
+  std::uint64_t checkpoint_bytes = 0;
+  /// Epoch rollbacks performed after a permanent failure escalated past
+  /// retry + blacklist.
+  std::uint64_t rollbacks = 0;
+  /// Tasks re-executed from the submission log during epoch restarts.
+  std::uint64_t tasks_replayed = 0;
+  /// Whole-epoch graph launches that were refused by a transient fault and
+  /// relaunched in place (a refused launch enqueues none of its nodes).
+  std::uint64_t graph_launch_retries = 0;
 };
 
 /// Outcome of one run() submission (DESIGN.md §5). The platform never
@@ -174,6 +188,9 @@ class graph_backend final : public backend_iface {
   void ensure_epoch();
   /// Closes the current epoch graph (if any) and launches it.
   void flush();
+  /// Cold path for a refused epoch launch: retries transient refusals and
+  /// surfaces permanent ones (a silent drop would corrupt user data).
+  void launch_refused(cudasim::graph_exec& exec);
 
   cudasim::platform* plat_;
   std::unique_ptr<cudasim::stream> epoch_stream_;  ///< serializes epoch launches

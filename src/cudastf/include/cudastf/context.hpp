@@ -126,7 +126,16 @@ class context {
   /// launches the epoch's graph, reusing memoized executables.
   void fence() {
     std::lock_guard lock(st_->mu);
-    st_->backend->fence();
+    try {
+      st_->backend->fence();
+    } catch (...) {
+      // A permanently refused epoch launch (graph backend) escalates to an
+      // epoch restart when a checkpoint is armed; without one the refusal
+      // propagates — the epoch's work is unrecoverably lost (DESIGN.md §7).
+      if (!detail::try_epoch_restart(*st_, nullptr, 0)) {
+        throw;
+      }
+    }
   }
 
   /// Waits for all pending operations — tasks, transfers, destructions —
@@ -155,6 +164,57 @@ class context {
   void blacklist_device(int device) {
     std::lock_guard lock(st_->mu);
     st_->blacklist_device(device);
+  }
+
+  // --- checkpoint/restart (DESIGN.md §7) ---
+
+  /// Enables epoch checkpoint/restart: incremental host snapshots of dirty
+  /// logical data plus a submission log, so a permanent failure escalates
+  /// to a rollback + deterministic replay instead of poison-and-cancel.
+  /// Data already registered is adopted (host-settled contents become the
+  /// epoch-0 snapshot). Fully gated off when never called: disabled
+  /// contexts pay a single null-pointer check per submission.
+  void enable_checkpointing(checkpoint_options opts = {}) {
+    std::lock_guard lock(st_->mu);
+    st_->ckpt = std::make_unique<checkpoint_manager>(*st_, opts);
+    st_->sweep_registry();
+    for (auto& w : st_->registry) {
+      if (auto d = w.lock()) {
+        st_->ckpt->on_register(d);
+      }
+    }
+  }
+
+  /// Drops the checkpoint manager (snapshots, submission log, restart
+  /// budget). Outstanding snapshot copies are drained first.
+  void disable_checkpointing() {
+    std::lock_guard lock(st_->mu);
+    st_->ckpt.reset();
+  }
+
+  /// Takes an explicit epoch checkpoint now (see checkpoint_manager::
+  /// take_checkpoint). Returns false when checkpointing is disabled or the
+  /// attempt was aborted by a refused snapshot copy.
+  bool checkpoint() {
+    std::lock_guard lock(st_->mu);
+    return st_->ckpt != nullptr && st_->ckpt->take_checkpoint();
+  }
+
+  /// The checkpoint manager, or nullptr while disabled (introspection).
+  const checkpoint_manager* checkpointing() const { return st_->ckpt.get(); }
+
+  // --- declared task ordering (DESIGN.md §7 watchdog) ---
+
+  /// Declares that tasks submitted with symbol `after` must start after
+  /// tasks with symbol `before` have completed — an explicit ordering
+  /// constraint on top of the inferred data dependencies. Throws
+  /// std::logic_error naming the offending symbols when the new edge
+  /// closes a cycle: a cyclic declaration can never be satisfied and would
+  /// otherwise hang the DES (the watchdog would catch it only at drain
+  /// time).
+  void order_after(std::string before, std::string after) {
+    std::lock_guard lock(st_->mu);
+    st_->declare_order(std::move(before), std::move(after));
   }
 
   // --- configuration & introspection ---

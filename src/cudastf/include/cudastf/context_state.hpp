@@ -7,10 +7,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cudasim/cudasim.hpp"
 #include "cudastf/backend.hpp"
+#include "cudastf/checkpoint.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
 #include "cudastf/transfer.hpp"
@@ -119,6 +122,37 @@ struct context_state {
   std::uint64_t record_failure(failure_kind kind, std::string symbol,
                                int device, int attempts, std::string detail,
                                std::vector<std::uint64_t> caused_by = {});
+
+  // --- checkpoint/restart (checkpoint.cpp, DESIGN.md §7) ---
+
+  /// Non-null while checkpointing is enabled (ctx.enable_checkpointing()).
+  /// Every submission-path hook gates on this single pointer, so the
+  /// fault-free fast path pays one null check when disabled.
+  std::unique_ptr<checkpoint_manager> ckpt;
+
+  // --- declared task ordering (DESIGN.md §7 watchdog) ---
+
+  /// User-declared symbol-level ordering edges (before, after). Declared
+  /// through ctx.order_after(), which rejects cycles up front — a cyclic
+  /// declaration can never be satisfied and would otherwise surface as a
+  /// DES hang.
+  std::vector<std::pair<std::string, std::string>> order_edges;
+
+  /// Completion events of the last task seen per constrained symbol.
+  std::vector<std::pair<std::string, event_list>> order_done;
+
+  /// Registers an edge "tasks with symbol `after` start after tasks with
+  /// symbol `before`"; throws std::logic_error naming the offending
+  /// symbols when the edge closes a cycle.
+  void declare_order(std::string before, std::string after);
+
+  /// Events a task with `symbol` must additionally wait for under the
+  /// declared ordering (empty when unconstrained).
+  event_list order_wait(std::string_view symbol) const;
+
+  /// Records a finished task's completion events when its symbol is the
+  /// predecessor of a declared edge.
+  void order_record(std::string_view symbol, const event_list& done);
 };
 
 }  // namespace cudastf

@@ -42,6 +42,10 @@ struct task_failure {
   int attempts = 1;    ///< submission attempts consumed (retries + 1)
   std::string detail;  ///< human-readable cause
   std::vector<std::uint64_t> caused_by;  ///< upstream failure ids
+  /// Names of logical data this failure poisoned (written deps of the
+  /// failed/cancelled task) — rendered by to_string() so cause chains show
+  /// failure → poisoned data → cancelled dependents.
+  std::vector<std::string> poisoned;
 };
 
 /// Structured outcome of a context, returned by ctx.finalize(). A fault-free

@@ -36,6 +36,9 @@ class [[nodiscard]] launch_builder {
   template <class Fn>
   void operator->*(Fn&& fn) && {
     std::lock_guard lock(st_->mu);
+    if (st_->ckpt != nullptr) [[unlikely]] {
+      record_replay(fn);  // before gridify mutates the requested places
+    }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     if (st_->fault_aware()) {
       submit_resilient(std::forward<Fn>(fn), seq);
@@ -46,19 +49,49 @@ class [[nodiscard]] launch_builder {
       detail::gridify_places(deps_, detail::default_composite(devices), seq);
     }
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready =
-        detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
-    auto views = detail::make_views(resolved, deps_, seq);
-
     event_list done;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      done.add(submit_one(fn, views, resolved, devices, i, seq, nullptr,
-                          &ready));
+    try {
+      event_list ready =
+          detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
+      auto views = detail::make_views(resolved, deps_, seq);
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        done.add(submit_one(fn, views, resolved, devices, i, seq, nullptr,
+                            &ready));
+      }
+    } catch (...) {
+      // A failed submission never reaches release_all, which normally
+      // unpins; drop the acquire-time pins so the instances stay evictable.
+      unpin_all();
+      throw;
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
   }
 
  private:
+  /// See task_builder::record_replay.
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      if (st_->ckpt->replaying()) {
+        return;
+      }
+      st_->ckpt->record([self = *this, fn]() mutable {
+        auto b = self;  // keep the log entry reusable across restarts
+        std::move(b)->*fn;
+      });
+    }
+  }
+
+  /// Drops the acquire-time pins after a failed fast-path submission (the
+  /// resilient path does its own pin accounting).
+  [[gnu::cold]] [[gnu::noinline]] void unpin_all() {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::unpin_deps(untyped.data(), untyped.size());
+  }
+
   /// Builds and submits the sub-launch of device shard `i`. With rr ==
   /// nullptr this is the fast path; otherwise run_resilient is used and
   /// `rr` receives the outcome.
@@ -132,9 +165,9 @@ class [[nodiscard]] launch_builder {
         devices = detail::resolve_devices(where_, *st_->plat);
         detail::filter_blacklisted(*st_, devices);
       } catch (const detail::device_lost_error&) {
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::device_lost, -1, round + 1,
-                          "no surviving device to re-route to");
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::device_lost, -1, round + 1,
+                                     "no surviving device to re-route to");
         return;
       }
       if (round > 0) {
@@ -157,16 +190,16 @@ class [[nodiscard]] launch_builder {
       } catch (const detail::transfer_error& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::link_error, devices.front(), round + 1,
-                          e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::link_error, devices.front(),
+                                     round + 1, e.what());
         return;
       } catch (const std::bad_alloc& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::out_of_memory, devices.front(),
-                          round + 1, e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::out_of_memory,
+                                     devices.front(), round + 1, e.what());
         return;
       }
       auto views = detail::make_views(resolved, deps_, seq);
@@ -202,14 +235,15 @@ class [[nodiscard]] launch_builder {
           continue;
         }
       }
-      detail::fail_task(*st_, untyped.data(), n, symbol_,
-                        detail::kind_of(bad.status), bad_device,
-                        bad.attempts + round, cudasim::status_name(bad.status));
+      detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                   detail::kind_of(bad.status), bad_device,
+                                   bad.attempts + round,
+                                   cudasim::status_name(bad.status));
       return;
     }
-    detail::fail_task(*st_, untyped.data(), n, symbol_,
-                      failure_kind::device_lost, -1, max_rounds,
-                      "retries exhausted after repeated device losses");
+    detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                 failure_kind::device_lost, -1, max_rounds,
+                                 "retries exhausted after repeated device losses");
   }
 
   std::shared_ptr<context_state> st_;

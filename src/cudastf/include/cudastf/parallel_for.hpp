@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <type_traits>
 #include <vector>
 
 #include "cudastf/context_state.hpp"
@@ -91,6 +92,9 @@ class [[nodiscard]] parallel_for_builder {
   template <class Fn>
   void operator->*(Fn&& fn) && {
     std::lock_guard lock(st_->mu);
+    if (st_->ckpt != nullptr) [[unlikely]] {
+      record_replay(fn);  // before gridify mutates the requested places
+    }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
 
     if (where_.is_host()) {
@@ -106,22 +110,52 @@ class [[nodiscard]] parallel_for_builder {
       detail::gridify_places(deps_, detail::default_composite(devices), seq);
     }
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready =
-        detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
-    auto views = detail::make_views(resolved, deps_, seq);
-
     event_list done;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      event_ptr ev = submit_one(fn, views, resolved, devices, i, seq, nullptr,
-                                &ready);
-      if (ev) {
-        done.add(std::move(ev));
+    try {
+      event_list ready =
+          detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
+      auto views = detail::make_views(resolved, deps_, seq);
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        event_ptr ev = submit_one(fn, views, resolved, devices, i, seq,
+                                  nullptr, &ready);
+        if (ev) {
+          done.add(std::move(ev));
+        }
       }
+    } catch (...) {
+      // A failed submission never reaches release_all, which normally
+      // unpins; drop the acquire-time pins so the instances stay evictable.
+      unpin_all();
+      throw;
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
   }
 
  private:
+  /// See task_builder::record_replay.
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      if (st_->ckpt->replaying()) {
+        return;
+      }
+      st_->ckpt->record([self = *this, fn]() mutable {
+        auto b = self;  // keep the log entry reusable across restarts
+        std::move(b)->*fn;
+      });
+    }
+  }
+
+  /// Drops the acquire-time pins after a failed fast-path submission (the
+  /// resilient paths do their own pin accounting).
+  [[gnu::cold]] [[gnu::noinline]] void unpin_all() {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::unpin_deps(untyped.data(), untyped.size());
+  }
+
   /// Builds and submits the sub-launch of shard `i` over `devices`. With
   /// rr == nullptr this is the fast path; otherwise the submission goes
   /// through run_resilient and `rr` receives the outcome.
@@ -207,9 +241,9 @@ class [[nodiscard]] parallel_for_builder {
         devices = detail::resolve_devices(where_, *st_->plat);
         detail::filter_blacklisted(*st_, devices);
       } catch (const detail::device_lost_error&) {
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::device_lost, -1, round + 1,
-                          "no surviving device to re-route to");
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::device_lost, -1, round + 1,
+                                     "no surviving device to re-route to");
         return;
       }
       if (round > 0) {
@@ -232,16 +266,16 @@ class [[nodiscard]] parallel_for_builder {
       } catch (const detail::transfer_error& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::link_error, devices.front(), round + 1,
-                          e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::link_error, devices.front(),
+                                     round + 1, e.what());
         return;
       } catch (const std::bad_alloc& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::out_of_memory, devices.front(),
-                          round + 1, e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::out_of_memory,
+                                     devices.front(), round + 1, e.what());
         return;
       }
       auto views = detail::make_views(resolved, deps_, seq);
@@ -279,36 +313,45 @@ class [[nodiscard]] parallel_for_builder {
           continue;
         }
       }
-      detail::fail_task(*st_, untyped.data(), n, symbol_,
-                        detail::kind_of(bad.status), bad_device,
-                        bad.attempts + round, cudasim::status_name(bad.status));
+      detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                   detail::kind_of(bad.status), bad_device,
+                                   bad.attempts + round,
+                                   cudasim::status_name(bad.status));
       return;
     }
-    detail::fail_task(*st_, untyped.data(), n, symbol_,
-                      failure_kind::device_lost, -1, max_rounds,
-                      "retries exhausted after repeated device losses");
+    detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                 failure_kind::device_lost, -1, max_rounds,
+                                 "retries exhausted after repeated device losses");
   }
 
   template <class Fn, std::size_t... I>
   void submit_host(Fn&& fn, std::index_sequence<I...> seq) {
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
-    auto views = detail::make_views(resolved, deps_, seq);
-    cudasim::platform* plat = st_->plat;
-    auto shape = shape_;
-    auto payload = [plat, fn = std::forward<Fn>(fn), views,
-                    shape](cudasim::stream& s) mutable {
-      plat->launch_host_func(s, [fn, views, shape]() mutable {
-        for (std::size_t lin = 0; lin < shape.size(); ++lin) {
-          detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
-                                 std::make_index_sequence<R>{},
-                                 std::index_sequence_for<Deps...>{});
-        }
-      });
-    };
-    event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
-                                       payload, symbol_);
-    const event_list done_list(std::move(done));
+    event_list done_list;
+    try {
+      event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
+      auto views = detail::make_views(resolved, deps_, seq);
+      cudasim::platform* plat = st_->plat;
+      auto shape = shape_;
+      auto payload = [plat, fn = std::forward<Fn>(fn), views,
+                      shape](cudasim::stream& s) mutable {
+        plat->launch_host_func(s, [fn, views, shape]() mutable {
+          for (std::size_t lin = 0; lin < shape.size(); ++lin) {
+            detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
+                                   std::make_index_sequence<R>{},
+                                   std::index_sequence_for<Deps...>{});
+          }
+        });
+      };
+      event_ptr done = st_->backend->run(0, backend_iface::channel::host,
+                                         ready, payload, symbol_);
+      if (done) {
+        done_list.add(std::move(done));
+      }
+    } catch (...) {
+      unpin_all();
+      throw;
+    }
     detail::release_all(*st_, resolved, deps_, done_list, seq);
   }
 

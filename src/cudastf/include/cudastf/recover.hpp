@@ -1,8 +1,17 @@
-// Fault-recovery helpers behind the submission slow path (DESIGN.md §5).
+// Fault-recovery helpers behind the submission slow path (DESIGN.md §5/§7).
 //
 // The builder templates in task.hpp / launch.hpp / parallel_for.hpp stay
 // thin: everything type-erasable lives here and is implemented in
 // fault.cpp. None of this is touched on the fault-free fast path.
+//
+// Escalation ladder for a failed submission (DESIGN.md §7):
+//   1. transient fault  -> retry with virtual-time backoff (run_resilient)
+//   2. device lost      -> blacklist + evacuate + re-route to a survivor
+//   3. still permanent  -> epoch restart: roll data back to the committed
+//                          checkpoint and replay the submission log
+//                          (fail_task_or_restart -> checkpoint.hpp)
+//   4. no checkpoint / restarts exhausted / failure during replay
+//                       -> poison written data, cancel dependents
 #pragma once
 
 #include <cstdint>
@@ -12,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "cudastf/checkpoint.hpp"  // fail_task_or_restart / try_epoch_restart
 #include "cudastf/context_state.hpp"
 #include "cudastf/data.hpp"
 #include "cudastf/error.hpp"

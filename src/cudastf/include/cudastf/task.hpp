@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 
 #include "cudastf/context_state.hpp"
@@ -81,6 +82,9 @@ class [[nodiscard]] task_builder {
           "cudastf: use ctx.host_launch() for host-side tasks");
     }
     std::lock_guard lock(st_->mu);
+    if (st_->ckpt != nullptr) [[unlikely]] {
+      record_replay(fn);
+    }
     int device;
     switch (where_.type()) {
       case exec_place::kind::device:
@@ -104,6 +108,9 @@ class [[nodiscard]] task_builder {
     event_list ready;
     try {
       ready = detail::acquire_all(*st_, device, resolved, deps_, seq);
+      if (!st_->order_edges.empty()) [[unlikely]] {
+        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
+      }
       auto views = detail::make_views(resolved, deps_, seq);
       auto payload = [fn = std::forward<Fn>(fn),
                       views](cudasim::stream& s) mutable {
@@ -115,6 +122,9 @@ class [[nodiscard]] task_builder {
       // One list, moved into place — release_dep copies are refcount bumps.
       const event_list done_list(std::move(done));
       detail::release_all(*st_, resolved, deps_, done_list, seq);
+      if (!st_->order_edges.empty()) [[unlikely]] {
+        st_->order_record(symbol_, done_list);
+      }
     } catch (const std::bad_alloc& e) {
       record_submit_failure(failure_kind::out_of_memory, device, e.what());
       throw;
@@ -132,6 +142,25 @@ class [[nodiscard]] task_builder {
     std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
                deps_);
     return untyped;
+  }
+
+  /// Appends a replay closure for this submission to the epoch log
+  /// (checkpoint.hpp): a copy of the builder taken *before* submission
+  /// mutates anything, re-invoked verbatim on epoch restart. Device
+  /// selection re-runs at replay time, so the task lands on a surviving
+  /// device. Move-only bodies cannot be logged and simply fall back to
+  /// poison-and-cancel on permanent failure.
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      if (st_->ckpt->replaying()) {
+        return;
+      }
+      st_->ckpt->record([self = *this, fn]() mutable {
+        auto b = self;  // keep the log entry reusable across restarts
+        std::move(b) ->* fn;
+      });
+    }
   }
 
   /// Cold epilogue of a failed fast-path submission: unpins and records.
@@ -163,9 +192,10 @@ class [[nodiscard]] task_builder {
         try {
           device = st_->reroute_device(device);
         } catch (const detail::device_lost_error&) {
-          detail::fail_task(*st_, untyped.data(), n, symbol_,
-                            failure_kind::device_lost, device, round + 1,
-                            "no surviving device to re-route to");
+          detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                       failure_kind::device_lost, device,
+                                       round + 1,
+                                       "no surviving device to re-route to");
           return;
         }
         ++st_->report.tasks_rerouted;
@@ -185,24 +215,28 @@ class [[nodiscard]] task_builder {
         if (round < ndev) {
           continue;
         }
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::device_lost, e.device, round + 1,
-                          "device lost during data acquire");
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::device_lost, e.device,
+                                     round + 1,
+                                     "device lost during data acquire");
         return;
       } catch (const detail::transfer_error& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::link_error, device, round + 1,
-                          e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::link_error, device,
+                                     round + 1, e.what());
         return;
       } catch (const std::bad_alloc& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::out_of_memory, device, round + 1,
-                          e.what());
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::out_of_memory, device,
+                                     round + 1, e.what());
         return;
+      }
+      if (!st_->order_edges.empty()) {
+        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
       }
       auto views = detail::make_views(resolved, deps_, seq);
       auto payload = [&fn, views](cudasim::stream& s) mutable {
@@ -224,6 +258,9 @@ class [[nodiscard]] task_builder {
       if (r.status == cudasim::sim_status::success) {
         const event_list done_list(std::move(r.ev));
         detail::release_all(*st_, resolved, deps_, done_list, seq);
+        if (!st_->order_edges.empty()) {
+          st_->order_record(symbol_, done_list);
+        }
         return;
       }
       snap.restore();
@@ -241,9 +278,10 @@ class [[nodiscard]] task_builder {
         detail::guard_partial(untyped.data(), n, resolved.data(),
                               event_list(std::move(r.ev)));
       }
-      detail::fail_task(*st_, untyped.data(), n, symbol_,
-                        detail::kind_of(r.status), device, r.attempts + round,
-                        cudasim::status_name(r.status));
+      detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                   detail::kind_of(r.status), device,
+                                   r.attempts + round,
+                                   cudasim::status_name(r.status));
       return;
     }
   }
@@ -277,6 +315,9 @@ class [[nodiscard]] host_launch_builder {
   template <class Fn>
   void operator->*(Fn&& fn) && {
     std::lock_guard lock(st_->mu);
+    if (st_->ckpt != nullptr) [[unlikely]] {
+      record_replay(fn);
+    }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
     {
@@ -297,6 +338,9 @@ class [[nodiscard]] host_launch_builder {
       // remain allowed even from a failed device (evacuation grace), so a
       // device loss rarely reaches this acquire.
       ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
+      if (!st_->order_edges.empty()) [[unlikely]] {
+        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
+      }
       auto views = detail::make_views(resolved, deps_, seq);
       cudasim::platform* plat = st_->plat;
       const double cost = cost_;
@@ -313,23 +357,42 @@ class [[nodiscard]] host_launch_builder {
                                          payload, symbol_);
       const event_list done_list(std::move(done));
       detail::release_all(*st_, resolved, deps_, done_list, seq);
+      if (!st_->order_edges.empty()) [[unlikely]] {
+        st_->order_record(symbol_, done_list);
+      }
     } catch (const detail::device_lost_error& e) {
       detail::unpin_deps(untyped.data(), untyped.size());
       st_->blacklist_device(e.device);
-      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                        failure_kind::device_lost, e.device, 1,
-                        "device lost during host-task acquire");
-      if (!aware) throw;
+      if (!aware) {
+        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                          failure_kind::device_lost, e.device, 1,
+                          "device lost during host-task acquire");
+        throw;
+      }
+      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
+                                   symbol_, failure_kind::device_lost,
+                                   e.device, 1,
+                                   "device lost during host-task acquire");
     } catch (const detail::transfer_error& e) {
       detail::unpin_deps(untyped.data(), untyped.size());
-      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                        failure_kind::link_error, -1, 1, e.what());
-      if (!aware) throw;
+      if (!aware) {
+        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                          failure_kind::link_error, -1, 1, e.what());
+        throw;
+      }
+      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
+                                   symbol_, failure_kind::link_error, -1, 1,
+                                   e.what());
     } catch (const std::bad_alloc& e) {
       detail::unpin_deps(untyped.data(), untyped.size());
-      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                        failure_kind::out_of_memory, -1, 1, e.what());
-      if (!aware) throw;
+      if (!aware) {
+        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                          failure_kind::out_of_memory, -1, 1, e.what());
+        throw;
+      }
+      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
+                                   symbol_, failure_kind::out_of_memory, -1, 1,
+                                   e.what());
     } catch (const std::exception& e) {
       detail::unpin_deps(untyped.data(), untyped.size());
       detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
@@ -339,6 +402,20 @@ class [[nodiscard]] host_launch_builder {
   }
 
  private:
+  /// See task_builder::record_replay.
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      if (st_->ckpt->replaying()) {
+        return;
+      }
+      st_->ckpt->record([self = *this, fn]() mutable {
+        auto b = self;
+        std::move(b) ->* fn;
+      });
+    }
+  }
+
   std::shared_ptr<context_state> st_;
   std::tuple<Deps...> deps_;
   std::string symbol_ = "host";

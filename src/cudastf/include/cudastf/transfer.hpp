@@ -82,4 +82,20 @@ bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
 /// never coalesce onto the dead buffer's fill events.
 void reset_fill_tracking(data_instance& inst);
 
+/// Checkpoint routing (DESIGN.md §7): the cheapest valid instance to
+/// snapshot to a host staging buffer, scored like a coherence fill with a
+/// host destination. nullptr when no valid copy exists (never-written
+/// data — nothing to snapshot).
+data_instance* pick_snapshot_source(context_state& st, logical_data_impl& d);
+
+/// Copies the current contents of `src` into the raw host staging buffer
+/// `dst_host_buf` as an asynchronous routed/chunked transfer on the same
+/// machinery as coherence copies, overlapping compute. Orders after the
+/// data's released writes and the source's own fill; completion events are
+/// merged into src.readers and d.readers_since_write so any later write
+/// waits for the snapshot. No MSI state changes: the staging buffer is not
+/// a data_instance. Throws like issue_copy on permanent transfer failure.
+event_list issue_snapshot_copy(context_state& st, logical_data_impl& d,
+                               data_instance& src, void* dst_host_buf);
+
 }  // namespace cudastf

@@ -334,6 +334,89 @@ bool request_transfer(context_state& st, logical_data_impl& d,
   return true;
 }
 
+data_instance* pick_snapshot_source(context_state& st, logical_data_impl& d) {
+  const std::size_t bytes = d.bytes();
+  data_instance* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& inst : d.instances()) {
+    if (inst->state == msi_state::invalid || !inst->allocated) {
+      continue;
+    }
+    const int src_dev = place_device(inst->place);
+    // Snapshots go to the host, so even a failed device qualifies (the
+    // fail-stop d2h evacuation grace, DESIGN.md §5) — no blacklist filter.
+    if (!st.xfer.route_by_cost) {
+      return inst.get();
+    }
+    const bool chained = fill_in_flight(d, *inst);
+    const double cost =
+        link_seconds(st, src_dev, -1, bytes) *
+            (1.0 + static_cast<double>(outstanding_from(st, src_dev))) +
+        (chained ? inst->fill_ready_cost : 0.0);
+    if (cost < best_cost) {
+      best = inst.get();
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+event_list issue_snapshot_copy(context_state& st, logical_data_impl& d,
+                               data_instance& src, void* dst_host_buf) {
+  const transfer_config& cfg = st.xfer;
+  backend_stats& bs = st.backend->mutable_stats();
+  const std::size_t bytes = d.bytes();
+  const int src_dev = place_device(src.place);
+  const cudasim::memcpy_kind kind = src_dev < 0
+                                        ? cudasim::memcpy_kind::host_to_host
+                                        : cudasim::memcpy_kind::device_to_host;
+  const int run_dev = src_dev < 0 ? 0 : src_dev;
+  cudasim::platform* plat = st.plat;
+
+  // The snapshot must observe every released write (epoch consistency) and
+  // the source's own fill — but not in-flight readers: reads don't change
+  // the bytes being staged.
+  event_list deps;
+  deps.merge(d.last_writer);
+  deps.merge(src.writer);
+
+  const std::size_t nchunks = plan_chunks(cfg, bytes);
+  event_list evs;
+  try {
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      const std::size_t lo = bytes * i / nchunks;
+      const std::size_t hi = bytes * (i + 1) / nchunks;
+      const std::size_t seg = hi - lo;
+      void* to = static_cast<char*>(dst_host_buf) + lo;
+      const void* from = static_cast<const char*>(src.ptr) + lo;
+      std::function<void(cudasim::stream&)> payload =
+          [plat, to, from, seg, kind](cudasim::stream& s) {
+            plat->memcpy_async(to, from, seg, kind, s);
+          };
+      evs.add(run_transfer_op(st, run_dev, deps, std::move(payload)));
+    }
+  } catch (...) {
+    // Accepted segments still read the source buffer; they must gate later
+    // writers even though the checkpoint as a whole is being aborted.
+    st.events_pruned += src.readers.merge(evs);
+    st.events_pruned += d.readers_since_write.merge(evs);
+    throw;
+  }
+
+  st.events_pruned += src.readers.merge(evs);
+  st.events_pruned += d.readers_since_write.merge(evs);
+  if (src_dev >= 0) {
+    bs.host_link_bytes += bytes;
+  }
+  if (nchunks > 1) {
+    bs.chunks_issued += nchunks;
+  }
+  if (cfg.trace) {
+    st.xfer_trace.push_back({src_dev, -1, bytes, nchunks, false});
+  }
+  return evs;
+}
+
 bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
                             data_instance& victim, int from_device) {
   if (!st.xfer.peer_eviction) {

@@ -187,4 +187,67 @@ TEST(Des, GcReclaimsManyNodes) {
   EXPECT_EQ(tl.completed_count(), 10000u);
 }
 
+// --- progress watchdog (DESIGN.md §7): hangs become diagnostic failures ---
+
+TEST(DesWatchdog, DependencyCycleFailsFastWithNames) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  op_node* a = tl.make_node("cycle_a", 0, &e1, 1.0);
+  op_node* b = tl.make_node("cycle_b", 1, &e1, 1.0);
+  timeline::add_dep(a, b);
+  timeline::add_dep(b, a);
+  tl.submit(a);
+  tl.submit(b);
+  try {
+    tl.drain();
+    FAIL() << "drain() must throw on a dependency cycle";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck operations (2)"), std::string::npos) << what;
+    EXPECT_NE(what.find("'cycle_a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'cycle_b'"), std::string::npos) << what;
+    EXPECT_NE(what.find("waiting on 1 unfinished predecessor(s)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("[compute]"), std::string::npos) << what;
+  }
+}
+
+TEST(DesWatchdog, LostEventNamesTheWaitingOp) {
+  timeline tl;
+  engine e1(engine_kind::copy_in);
+  op_node* a = tl.make_node("never_submitted", 0, &e1, 1.0);
+  op_node* b = tl.make_node("waits_forever", 0, &e1, 1.0);
+  timeline::add_dep(a, b);
+  tl.submit(b);  // a is never submitted: b's event is lost forever
+  try {
+    tl.drain_until(b);
+    FAIL() << "drain_until() must throw when the op can never complete";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("can never complete"), std::string::npos) << what;
+    EXPECT_NE(what.find("'waits_forever'"), std::string::npos) << what;
+    EXPECT_NE(what.find("[copy_in]"), std::string::npos) << what;
+  }
+}
+
+TEST(DesWatchdog, ReportCapsLongStuckLists) {
+  timeline tl;
+  engine e1(engine_kind::compute);
+  op_node* root = tl.make_node("root", 0, &e1, 1.0);  // never submitted
+  for (int i = 0; i < 12; ++i) {
+    op_node* n = tl.make_node("dependent", 0, &e1, 1.0);
+    timeline::add_dep(root, n);
+    tl.submit(n);
+  }
+  try {
+    tl.drain();
+    FAIL() << "drain() must throw with stuck ops left behind";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck operations (12)"), std::string::npos) << what;
+    EXPECT_NE(what.find("... and 4 more"), std::string::npos) << what;
+  }
+}
+
 }  // namespace

@@ -266,6 +266,11 @@ TEST(FaultInjection, ExhaustedRetriesPoisonDataAndCancelDependents) {
   const std::string text = rep.to_string();
   EXPECT_NE(text.find("kernel_fault"), std::string::npos);
   EXPECT_NE(text.find("cancelled"), std::string::npos);
+  // Cause-chain tree rendering: the cancelled task is nested under the
+  // root failure, and each failure lists the data it poisoned by name.
+  EXPECT_NE(text.find("└─"), std::string::npos);
+  EXPECT_NE(text.find("poisoned data: 'x'"), std::string::npos);
+  EXPECT_NE(text.find("poisoned data: 'y'"), std::string::npos);
 }
 
 // --- OOM diagnostics ---

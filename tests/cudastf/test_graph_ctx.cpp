@@ -3,6 +3,7 @@
 // advantage for small kernels.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "cudastf/cudastf.hpp"
@@ -164,6 +165,93 @@ TEST(GraphCtx, FenceWithNoWorkIsHarmless) {
   ctx.fence();
   ctx.finalize();
   EXPECT_EQ(ctx.stats().graph_launches, 0u);
+}
+
+TEST(GraphCtx, RefusedEpochLaunchIsRelaunchedNotDropped) {
+  // A transient fault can hit the whole-epoch graph launch itself (one
+  // kernel-category op per launch) rather than a captured node. The refusal
+  // enqueues none of the epoch's nodes and leaves a sticky status that
+  // would refuse every later epoch too — the backend must relaunch in
+  // place instead of silently dropping the work (DESIGN.md §7).
+  cudasim::scoped_platform sp(2, tdesc());
+  cudasim::platform& p = sp.get();
+  p.ensure_fault_injector().schedule(
+      {.kind = cudasim::fault_kind::kernel_fault, .device = -1, .at_op = 9});
+  context ctx = context::graph(p);
+  constexpr std::size_t n = 128;
+  std::vector<double> y(n, 0.0);
+  {
+    auto ly = ctx.logical_data(y.data(), n, "y");
+    for (int t = 0; t < 12; ++t) {
+      ctx.task(exec_place::device(t % 2), ly.rw()).set_symbol("step")->*
+          [&p](cudasim::stream& s, slice<double> dy) {
+            p.launch_kernel(s, {.name = "step"}, [=] {
+              for (std::size_t i = 0; i < dy.size(); ++i) {
+                dy(i) = dy(i) * 2.0 + 1.0;
+              }
+            });
+          };
+      if (t % 3 == 2) {
+        ctx.fence();
+      }
+    }
+    const error_report rep = ctx.finalize();
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+  }
+  EXPECT_GE(ctx.stats().graph_launch_retries, 1u);
+  EXPECT_DOUBLE_EQ(y[0], 4095.0);  // 12 iterations of y = y*2 + 1
+}
+
+TEST(GraphCtx, CheckpointRestartBitIdenticalUnderGraphs) {
+  // A permanent capture-time fault under the graph backend must abort only
+  // the refused node, roll back to the committed checkpoint and replay the
+  // epoch — bit-identical to the fault-free graph run (DESIGN.md §7).
+  auto run = [](bool faulty, std::vector<double>& y, backend_stats* stats) {
+    cudasim::scoped_platform sp(2, tdesc());
+    cudasim::platform& p = sp.get();
+    if (faulty) {
+      p.ensure_fault_injector().schedule({.kind =
+                                              cudasim::fault_kind::kernel_fault,
+                                          .device = -1,
+                                          .at_op = 10});
+    }
+    context ctx = context::graph(p);
+    ctx.set_retry_policy({.max_attempts = 1});
+    if (faulty) {
+      ctx.enable_checkpointing({.every_n_tasks = 4});
+    }
+    constexpr std::size_t n = 128;
+    y.assign(n, 0.0);
+    auto ly = ctx.logical_data(y.data(), n, "y");
+    for (int t = 0; t < 12; ++t) {
+      ctx.task(exec_place::device(t % 2), ly.rw()).set_symbol("step")->*
+          [&p](cudasim::stream& s, slice<double> dy) {
+            p.launch_kernel(s, {.name = "step"}, [=] {
+              for (std::size_t i = 0; i < dy.size(); ++i) {
+                dy(i) = dy(i) * 2.0 + 1.0;
+              }
+            });
+          };
+      if (t % 3 == 2) {
+        ctx.fence();  // close an epoch mid-run like an iterative solver
+      }
+    }
+    const error_report rep = ctx.finalize();
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    if (stats != nullptr) {
+      *stats = ctx.stats();
+    }
+  };
+  std::vector<double> ref, got;
+  backend_stats stats{};
+  run(false, ref, nullptr);
+  run(true, got, &stats);
+  EXPECT_GE(stats.checkpoints_taken, 1u);
+  EXPECT_GE(stats.rollbacks, 1u);
+  EXPECT_GE(stats.tasks_replayed, 1u);
+  ASSERT_EQ(got.size(), ref.size());
+  EXPECT_EQ(std::memcmp(got.data(), ref.data(), ref.size() * sizeof(double)),
+            0);
 }
 
 }  // namespace
