@@ -18,8 +18,9 @@ int main(int argc, char** argv) {
   } else {
     std::printf(
         "Fig. 3: Cholesky on one A100, device allocator capped at 8 GB\n\n");
-    std::printf("%-10s %-14s %-16s %-10s\n", "N", "matrix (GB)", "GFLOP/s",
-                "evictions");
+    std::printf("%-10s %-14s %-16s %-10s %-10s %-8s %-8s\n", "N",
+                "matrix (GB)", "GFLOP/s", "evictions", "cache-hit", "clean",
+                "wb-avoid");
   }
   bool first = true;
   for (std::size_t tiles : {8, 12, 16, 20, 24, 28}) {
@@ -41,15 +42,25 @@ int main(int argc, char** argv) {
     const double gflops = blaslib::cholesky_flops(n) / t / 1e9;
     const auto evictions =
         static_cast<unsigned long long>(ctx.stats().evictions);
+    const auto cache_hits =
+        static_cast<unsigned long long>(ctx.stats().alloc_cache_hits);
+    const auto clean_drops =
+        static_cast<unsigned long long>(ctx.stats().clean_drops);
+    const auto wb_avoided =
+        static_cast<unsigned long long>(ctx.stats().writebacks_avoided);
     if (json) {
       std::printf(
           "%s  {\"tiles\": %zu, \"n\": %zu, \"matrix_gb\": %.1f, "
-          "\"gflops\": %.0f, \"evictions\": %llu}",
-          first ? "" : ",\n", tiles, n, matrix_gb, gflops, evictions);
+          "\"gflops\": %.0f, \"evictions\": %llu, "
+          "\"alloc_cache_hits\": %llu, \"clean_drops\": %llu, "
+          "\"writebacks_avoided\": %llu}",
+          first ? "" : ",\n", tiles, n, matrix_gb, gflops, evictions,
+          cache_hits, clean_drops, wb_avoided);
       first = false;
     } else {
-      std::printf("%-10zu %-14.1f %-16.0f %-10llu\n", n, matrix_gb, gflops,
-                  evictions);
+      std::printf("%-10zu %-14.1f %-16.0f %-10llu %-10llu %-8llu %-8llu\n", n,
+                  matrix_gb, gflops, evictions, cache_hits, clean_drops,
+                  wb_avoided);
     }
   }
   if (json) {

@@ -103,11 +103,13 @@ if [[ "$sanitize" == 1 ]]; then
   asan_build="$repo/build-asan"
   cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
   cmake --build "$asan_build" -j "$jobs" \
-    --target test_fault_injection test_eviction test_checkpoint
+    --target test_fault_injection test_eviction test_checkpoint test_mem_engine
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_fault_injection"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_eviction"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_checkpoint"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_mem_engine"
 fi

@@ -247,19 +247,32 @@ void* graph_backend::alloc_device(int device, std::size_t bytes,
   return p;
 }
 
-void graph_backend::free_device(int device, void* p, const event_list& deps,
-                                event_list& dangling) {
-  bool has_graph_dep = false;
+graph_backend::graph_dep_scan graph_backend::scan_graph_deps(
+    const event_list& deps) const {
+  graph_dep_scan r;
   for (const event_ptr& e : deps) {
-    if (as_graph_event(e) != nullptr) {
-      has_graph_dep = true;
+    if (auto* ge = as_graph_event(e)) {
+      r.any = true;
+      if (cur_ != nullptr && ge->epoch == epoch_) {
+        r.current = true;
+        break;
+      }
     }
   }
-  if (has_graph_dep) {
-    flush();  // turn graph-node deps into epoch-stream ordering
+  return r;
+}
+
+void graph_backend::free_device(int device, void* p, const event_list& deps,
+                                event_list& dangling) {
+  const graph_dep_scan gd = scan_graph_deps(deps);
+  if (gd.current) {
+    flush();  // turn current-epoch graph deps into epoch-stream ordering
   }
   cudasim::stream& s = *alloc_.at(static_cast<std::size_t>(device));
-  if (has_graph_dep && last_epoch_done_) {
+  // Deps from flushed epochs are covered by the serialized epoch stream;
+  // waiting on the last launch suffices, without ending the (possibly
+  // empty) epoch under construction.
+  if (gd.any && last_epoch_done_) {
     s.wait_event(static_cast<stream_event*>(last_epoch_done_.get())->ev);
   }
   for (const event_ptr& e : deps) {
@@ -274,17 +287,12 @@ void graph_backend::free_device(int device, void* p, const event_list& deps,
 }
 
 void graph_backend::wait(const event_list& l) {
-  bool has_graph_dep = false;
-  for (const event_ptr& e : l) {
-    if (as_graph_event(e) != nullptr) {
-      has_graph_dep = true;
-    }
-  }
-  if (has_graph_dep) {
+  const graph_dep_scan gd = scan_graph_deps(l);
+  if (gd.current) {
     flush();
-    if (last_epoch_done_) {
-      static_cast<stream_event*>(last_epoch_done_.get())->ev.synchronize();
-    }
+  }
+  if (gd.any && last_epoch_done_) {
+    static_cast<stream_event*>(last_epoch_done_.get())->ev.synchronize();
   }
   for (const event_ptr& e : l) {
     if (auto* se = as_stream_event(e)) {

@@ -216,6 +216,10 @@ error_report context::finalize() {
     st_->backend->wait(pending);
     break;
   }
+  // Epoch-end trim (DESIGN.md §9): recycled blocks go back to the
+  // platform before the final drain, so pool accounting is exact and the
+  // context leaves no cached memory behind.
+  st_->mem.trim_all(*st_);
   st_->backend->wait_idle();
   st_->sweep_registry();
   return st_->report;

@@ -123,6 +123,7 @@ void allocate_instance(context_state& st, logical_data_impl& d,
         e.set_data_name(d.name());  // only this frame knows the logical data
         throw;
       }
+      st.mem.on_resident(inst.place.device_index(), d, inst);
       break;
     case data_place::kind::host:
       inst.ptr = ::operator new(d.bytes());
@@ -157,6 +158,7 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
 
   data_instance& inst = d.instance_at(resolved);
   inst.pinned = true;
+  inst.prev_use = inst.last_use;
   inst.last_use = ++st.use_counter;
 
   // allocate: make sure the instance has backing at this place.
@@ -248,14 +250,19 @@ logical_data_impl::~logical_data_impl() {
     if (!inst->allocated || inst->user_owned) {
       continue;
     }
+    if (inst->place.type() == data_place::kind::device) {
+      // Dying data's blocks go straight back to the platform (recycling
+      // them would tie cache lifetime to arbitrary destruction order);
+      // the helper also drops the instance from the resident index.
+      release_device_instance(*st_, *this, *inst, /*recycle=*/false);
+      continue;
+    }
     event_list deps;
     deps.merge(inst->readers);
     deps.merge(inst->writer);
     switch (inst->place.type()) {
       case data_place::kind::device:
-        st_->backend->free_device(inst->place.device_index(), inst->ptr, deps,
-                                  st_->dangling);
-        break;
+        break;  // handled above
       case data_place::kind::host: {
         // Deferred host free: the host node's body releases the buffer when
         // every dependent operation has completed.
@@ -365,79 +372,7 @@ void context_state::sweep_registry() {
   });
 }
 
-void* context_state::alloc_with_eviction(int device, std::size_t bytes,
-                                         event_list& out) {
-  if (plat->device_failed(device)) {
-    // The pool of a failed device would hand out nullptr forever; report
-    // the loss so the submission path re-routes instead of evicting.
-    throw detail::device_lost_error(device);
-  }
-  for (;;) {
-    if (void* p = backend->alloc_device(device, bytes, out)) {
-      return p;
-    }
-    if (plat->consume_injected_alloc_failure()) {
-      // Injected cudaMallocAsync-style failure: not sticky, absorbed by
-      // simply retrying the allocation (§5).
-      ++report.alloc_retries;
-      continue;
-    }
-    if (plat->device_failed(device)) {
-      throw detail::device_lost_error(device);  // died mid-eviction loop
-    }
-    // Pool exhausted: pick the least-recently-used unpinned device instance
-    // on this device and evict it (staging modified data to the host
-    // first), entirely asynchronously (§IV-B, Fig. 3).
-    logical_data_impl* victim_data = nullptr;
-    data_instance* victim = nullptr;
-    for (auto& w : registry) {
-      auto d = w.lock();
-      if (!d) {
-        continue;
-      }
-      for (auto& inst : d->instances()) {
-        if (!inst->allocated || inst->pinned || inst->user_owned ||
-            inst->place.type() != data_place::kind::device ||
-            inst->place.device_index() != device) {
-          continue;
-        }
-        if (victim == nullptr || inst->last_use < victim->last_use) {
-          victim = inst.get();
-          victim_data = d.get();
-        }
-      }
-    }
-    if (victim == nullptr) {
-      const auto& dev = plat->device(device);
-      throw oom_error(device, bytes, dev.pool_capacity() - dev.pool_used());
-    }
-
-    event_list free_deps;
-    if (victim->state == msi_state::modified) {
-      // Only valid copy: stage it somewhere safe first. The planner prefers
-      // a healthy peer device with pool headroom (one p2p hop); otherwise
-      // fall back to the host round-trip.
-      if (!stage_eviction_to_peer(*this, *victim_data, *victim, device)) {
-        data_instance& host = victim_data->instance_at(data_place::host());
-        if (!host.allocated) {
-          host.ptr = ::operator new(victim_data->bytes());
-          host.allocated = true;
-        }
-        issue_copy(*this, *victim_data, *victim, host);
-        host.state = msi_state::modified;  // device copy is about to vanish
-      }
-    }
-    free_deps.merge(victim->readers);
-    free_deps.merge(victim->writer);
-    backend->free_device(device, victim->ptr, free_deps, dangling);
-    victim->allocated = false;
-    victim->ptr = nullptr;
-    victim->state = msi_state::invalid;
-    victim->readers.clear();
-    victim->writer.clear();
-    reset_fill_tracking(*victim);
-    backend->mutable_stats().evictions += 1;
-  }
-}
+// alloc_with_eviction and the eviction machinery live in mem_engine.cpp
+// (out-of-core memory engine, DESIGN.md §9).
 
 }  // namespace cudastf

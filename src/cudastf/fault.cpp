@@ -3,6 +3,7 @@
 // transient retry with virtual-time backoff, device blacklisting with
 // host evacuation and deterministic re-routing.
 #include <algorithm>
+#include <limits>
 #include <new>
 
 #include "cudastf/context_state.hpp"
@@ -222,6 +223,10 @@ void context_state::blacklist_device(int device) {
   // (idempotent when the injector already failed it).
   plat->fail_device(device);
 
+  // The dead device's cached blocks must never be handed out again; free
+  // them now (stream-ordered frees stay allowed on a failed device).
+  mem.trim_device(*this, device, std::numeric_limits<std::size_t>::max());
+
   // Evacuate sole copies while device-to-host transfers from the failed
   // device are still allowed (fail-stop grace, DESIGN.md §5), then drop
   // the dead instances so the allocator and coherency protocol never hand
@@ -264,7 +269,7 @@ void context_state::blacklist_device(int device) {
         try {
           data_instance& host = d->instance_at(data_place::host());
           if (!host.allocated) {
-            host.ptr = ::operator new(d->bytes());
+            host.ptr = alloc_host_staging(*this, d->bytes());
             host.allocated = true;
           }
           issue_copy(*this, *d, *inst, host);
@@ -278,15 +283,8 @@ void context_state::blacklist_device(int device) {
       }
       inst->state = msi_state::invalid;
       if (device_kind && !inst->user_owned) {
-        event_list free_deps;
-        free_deps.merge(inst->readers);
-        free_deps.merge(inst->writer);
-        backend->free_device(device, inst->ptr, free_deps, dangling);
-        inst->allocated = false;
-        inst->ptr = nullptr;
-        inst->readers.clear();
-        inst->writer.clear();
-        reset_fill_tracking(*inst);
+        // Never recycled: a failed device's blocks go back to the platform.
+        release_device_instance(*this, *d, *inst, /*recycle=*/false);
       }
       // Composite reservations keep their mapping until the data dies;
       // invalidating the instance is enough to keep them unused.

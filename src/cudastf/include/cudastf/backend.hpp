@@ -52,6 +52,28 @@ struct backend_stats {
   /// Payload bytes moved across the host (PCIe-like) link.
   std::uint64_t host_link_bytes = 0;
 
+  // --- memory engine (DESIGN.md §9) ---
+  /// Device allocations served by recycling a cached freed block instead
+  /// of a platform malloc/free round-trip.
+  std::uint64_t alloc_cache_hits = 0;
+  /// Bytes of those recycled blocks.
+  std::uint64_t alloc_cache_bytes_reused = 0;
+  /// Eviction victims dropped without any staging copy (another valid
+  /// replica existed).
+  std::uint64_t clean_drops = 0;
+  /// OOM rounds where lookahead scoring picked a clean victim while pure
+  /// LRU would have evicted a modified one (and paid the write-back).
+  std::uint64_t writebacks_avoided = 0;
+  /// Evicted instances re-filled ahead of demand through the transfer
+  /// engine (the later acquire coalesces onto the in-flight fill).
+  std::uint64_t prefetch_refills = 0;
+  /// Times the cache handed blocks back to the platform (OOM pressure or
+  /// an epoch-end trim).
+  std::uint64_t pool_trims = 0;
+  /// Host staging bytes allocated for eviction staging, blacklist
+  /// evacuation and checkpoint restore (out-of-core pressure gauge).
+  std::uint64_t host_staging_bytes = 0;
+
   // --- checkpoint/restart (DESIGN.md §7) ---
   /// Committed epoch checkpoints (aborted attempts are not counted).
   std::uint64_t checkpoints_taken = 0;
@@ -185,6 +207,17 @@ class graph_backend final : public backend_iface {
   void wait_idle() override;
 
  private:
+  /// One pass over a dependency list: whether it mentions graph nodes at
+  /// all, and whether any belongs to the epoch still under construction
+  /// (shared by free_device and wait — only a current-epoch dep forces a
+  /// flush; flushed epochs are already ordered by the serialized epoch
+  /// stream, and an empty current epoch can never hold a dep).
+  struct graph_dep_scan {
+    bool any = false;      ///< some dep is a graph-node event
+    bool current = false;  ///< ... of the epoch under construction
+  };
+  graph_dep_scan scan_graph_deps(const event_list& deps) const;
+
   void ensure_epoch();
   /// Closes the current epoch graph (if any) and launches it.
   void flush();

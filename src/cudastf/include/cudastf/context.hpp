@@ -123,9 +123,12 @@ class context {
   // --- synchronization ---
 
   /// Non-blocking epoch boundary (§III-B): the graph backend closes and
-  /// launches the epoch's graph, reusing memoized executables.
+  /// launches the epoch's graph, reusing memoized executables. Also trims
+  /// the memory engine's cached blocks back to the platform (DESIGN.md §9)
+  /// so pool accounting is exact across epochs.
   void fence() {
     std::lock_guard lock(st_->mu);
+    st_->mem.trim_all(*st_);
     try {
       st_->backend->fence();
     } catch (...) {
@@ -229,6 +232,13 @@ class context {
   /// before submitting the work it should affect.
   transfer_config& transfer_options() { return st_->xfer; }
   const transfer_config& transfer_options() const { return st_->xfer; }
+
+  /// Memory-engine knobs (DESIGN.md §9): caching suballocator, lookahead
+  /// victim scoring, eviction batching, prefetch-back. Each mechanism
+  /// toggles independently for ablation; with all of them off the
+  /// allocator behaves exactly like the pre-engine LRU evictor.
+  mem_config& memory_options() { return st_->mem.cfg; }
+  const mem_config& memory_options() const { return st_->mem.cfg; }
 
   cudasim::platform& platform() { return *st_->plat; }
   const backend_stats& stats() const { return st_->backend->stats(); }

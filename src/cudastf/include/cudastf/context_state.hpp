@@ -16,6 +16,7 @@
 #include "cudastf/checkpoint.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
+#include "cudastf/mem_engine.hpp"
 #include "cudastf/transfer.hpp"
 
 namespace cudastf {
@@ -23,6 +24,11 @@ namespace cudastf {
 class logical_data_impl;
 
 struct context_state {
+  context_state() = default;
+  /// Trims cached device blocks back to the platform (mem_engine.hpp) so a
+  /// context torn down without finalize() leaks no pool space.
+  ~context_state();
+
   cudasim::platform* plat = nullptr;
   std::unique_ptr<backend_iface> backend;
 
@@ -54,11 +60,23 @@ struct context_state {
   /// HEFT-style automatic placement policy (§IX extension).
   std::vector<double> heft_load;
 
-  /// Allocates a device instance buffer, evicting least-recently-used
-  /// unpinned instances from the device if the pool is full.
-  /// Appends allocation-completion events to `out`; throws oom_error
-  /// (derives std::bad_alloc) if nothing can be evicted.
+  // --- memory engine (mem_engine.cpp, DESIGN.md §9) ---
+
+  /// Caching suballocator, resident-instance victim index and prefetch
+  /// queue; configured via ctx.memory_options().
+  mem_engine mem;
+
+  /// Allocates a device instance buffer: recycles a cached block when one
+  /// fits, else allocates from the platform, trimming the cache and then
+  /// evicting batches of victims (lookahead-scored, least-valuable first)
+  /// under pool pressure. Appends allocation-completion events to `out`;
+  /// throws oom_error (derives std::bad_alloc) if nothing can be evicted.
   void* alloc_with_eviction(int device, std::size_t bytes, event_list& out);
+
+  /// One OOM round: evicts up to mem.cfg.evict_batch unpinned resident
+  /// instances from `device` (more if needed to cover `bytes_needed`),
+  /// staging modified victims first. False when nothing was evictable.
+  bool evict_for(int device, std::size_t bytes_needed);
 
   // --- transfer planner (transfer.cpp, DESIGN.md §6) ---
 

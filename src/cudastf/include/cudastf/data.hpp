@@ -45,6 +45,14 @@ struct data_instance {
   bool user_owned = false;  ///< host memory owned by the application
   bool pinned = false;      ///< protected from eviction during a prologue
   std::uint64_t last_use = 0;
+  /// The use before last (LRU-2 style): last_use - prev_use is the reuse
+  /// interval the memory engine's scan-resistant victim scoring keys on.
+  std::uint64_t prev_use = 0;
+  /// Slot in the memory engine's per-device resident-instance index
+  /// (mem_engine.hpp); not_resident while the instance has no device
+  /// backing.
+  static constexpr std::uint32_t not_resident = 0xffffffffu;
+  std::uint32_t resident_pos = not_resident;
   event_list readers;  ///< pending ops reading this instance
   event_list writer;   ///< pending op(s) writing this instance
 
@@ -67,8 +75,10 @@ struct data_instance {
 };
 
 /// Type-erased core of logical_data<T>. All mutation happens under the
-/// owning context's submission lock.
-class logical_data_impl {
+/// owning context's submission lock. Shared-from-this so the memory
+/// engine's prefetch queue can hold weak references to eviction victims.
+class logical_data_impl
+    : public std::enable_shared_from_this<logical_data_impl> {
  public:
   logical_data_impl(std::shared_ptr<context_state> st,
                     std::vector<std::size_t> extents, std::size_t elem_size,

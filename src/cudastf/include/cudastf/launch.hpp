@@ -75,10 +75,14 @@ class [[nodiscard]] launch_builder {
       if (st_->ckpt->replaying()) {
         return;
       }
+      std::vector<std::weak_ptr<logical_data_impl>> touched;
+      touched.reserve(sizeof...(Deps));
+      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
+                 deps_);
       st_->ckpt->record([self = *this, fn]() mutable {
         auto b = self;  // keep the log entry reusable across restarts
         std::move(b)->*fn;
-      });
+      }, std::move(touched));
     }
   }
 

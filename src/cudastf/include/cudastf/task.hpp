@@ -156,10 +156,14 @@ class [[nodiscard]] task_builder {
       if (st_->ckpt->replaying()) {
         return;
       }
+      std::vector<std::weak_ptr<logical_data_impl>> touched;
+      touched.reserve(sizeof...(Deps));
+      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
+                 deps_);
       st_->ckpt->record([self = *this, fn]() mutable {
         auto b = self;  // keep the log entry reusable across restarts
         std::move(b) ->* fn;
-      });
+      }, std::move(touched));
     }
   }
 
@@ -409,10 +413,14 @@ class [[nodiscard]] host_launch_builder {
       if (st_->ckpt->replaying()) {
         return;
       }
+      std::vector<std::weak_ptr<logical_data_impl>> touched;
+      touched.reserve(sizeof...(Deps));
+      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
+                 deps_);
       st_->ckpt->record([self = *this, fn]() mutable {
         auto b = self;
         std::move(b) ->* fn;
-      });
+      }, std::move(touched));
     }
   }
 

@@ -1,0 +1,414 @@
+// Out-of-core memory engine (DESIGN.md §9): caching suballocator,
+// resident-instance victim index with lookahead scoring, batched eviction
+// and prefetch-back. Owns context_state::alloc_with_eviction.
+#include "cudastf/mem_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <new>
+
+#include "cudastf/context_state.hpp"
+#include "cudastf/data.hpp"
+#include "cudastf/error.hpp"
+#include "cudastf/recover.hpp"
+#include "cudastf/transfer.hpp"
+
+namespace cudastf {
+
+std::size_t mem_size_class(std::size_t bytes) {
+  if (bytes <= 256) {
+    return 256;
+  }
+  const int msb = 63 - std::countl_zero(bytes);
+  const std::size_t gran = std::size_t{1} << (msb - 3);
+  return (bytes + gran - 1) / gran * gran;
+}
+
+mem_engine::device_mem& mem_engine::dev(int device) {
+  const auto idx = static_cast<std::size_t>(device);
+  if (dev_.size() <= idx) {
+    dev_.resize(idx + 1);
+  }
+  return dev_[idx];
+}
+
+void* mem_engine::take_cached(context_state& st, int device, std::size_t bytes,
+                              event_list& out) {
+  if (!cfg.cache) {
+    return nullptr;
+  }
+  device_mem& dm = dev(device);
+  auto it = dm.bins.find(mem_size_class(bytes));
+  if (it == dm.bins.end()) {
+    return nullptr;
+  }
+  std::vector<cached_block>& bin = it->second;
+  // A bin spans one class step, so a block can be slightly smaller than
+  // the request; scan for a fit (homogeneous workloads hit the first).
+  // Oldest-first: the oldest parked block's carried events (its previous
+  // life's write-back) are the most likely to have completed, so the new
+  // allocation chains behind the least work.
+  for (std::size_t i = 0; i < bin.size(); ++i) {
+    if (bin[i].bytes < bytes) {
+      continue;
+    }
+    cached_block blk = std::move(bin[i]);
+    bin.erase(bin.begin() + static_cast<std::ptrdiff_t>(i));
+    if (bin.empty()) {
+      dm.bins.erase(it);
+    }
+    dm.cached_bytes -= blk.bytes;
+    st.events_pruned += out.merge(blk.deps);
+    backend_stats& bs = st.backend->mutable_stats();
+    ++bs.alloc_cache_hits;
+    bs.alloc_cache_bytes_reused += blk.bytes;
+    return blk.ptr;
+  }
+  return nullptr;
+}
+
+void mem_engine::release_block(context_state& /*st*/, int device,
+                               std::size_t bytes, void* p, event_list deps) {
+  deps.prune_completed_entries();
+  device_mem& dm = dev(device);
+  dm.bins[mem_size_class(bytes)].push_back({p, bytes, std::move(deps)});
+  dm.cached_bytes += bytes;
+}
+
+bool mem_engine::trim_device(context_state& st, int device, std::size_t want) {
+  if (static_cast<std::size_t>(device) >= dev_.size()) {
+    return false;
+  }
+  device_mem& dm = dev_[static_cast<std::size_t>(device)];
+  std::size_t freed = 0;
+  for (auto it = dm.bins.begin(); it != dm.bins.end() && freed < want;) {
+    std::vector<cached_block>& bin = it->second;
+    while (!bin.empty() && freed < want) {
+      cached_block blk = std::move(bin.back());
+      bin.pop_back();
+      dm.cached_bytes -= blk.bytes;
+      freed += blk.bytes;
+      st.backend->free_device(device, blk.ptr, blk.deps, st.dangling);
+    }
+    it = bin.empty() ? dm.bins.erase(it) : std::next(it);
+  }
+  if (freed == 0) {
+    return false;
+  }
+  ++st.backend->mutable_stats().pool_trims;
+  return true;
+}
+
+void mem_engine::trim_all(context_state& st) {
+  for (std::size_t d = 0; d < dev_.size(); ++d) {
+    trim_device(st, static_cast<int>(d),
+                std::numeric_limits<std::size_t>::max());
+  }
+}
+
+void mem_engine::on_resident(int device, logical_data_impl& d,
+                             data_instance& inst) {
+  std::vector<resident_ref>& idx = dev(device).resident;
+  inst.resident_pos = static_cast<std::uint32_t>(idx.size());
+  idx.push_back({&d, &inst});
+}
+
+void mem_engine::on_nonresident(int device, data_instance& inst) {
+  if (inst.resident_pos == data_instance::not_resident ||
+      static_cast<std::size_t>(device) >= dev_.size()) {
+    return;
+  }
+  std::vector<resident_ref>& idx = dev_[static_cast<std::size_t>(device)].resident;
+  const std::size_t pos = inst.resident_pos;
+  if (pos < idx.size() && idx[pos].inst == &inst) {
+    idx[pos] = idx.back();
+    idx[pos].inst->resident_pos = static_cast<std::uint32_t>(pos);
+    idx.pop_back();
+  }
+  inst.resident_pos = data_instance::not_resident;
+}
+
+std::vector<mem_engine::resident_ref>* mem_engine::resident(int device) {
+  if (static_cast<std::size_t>(device) >= dev_.size()) {
+    return nullptr;
+  }
+  return &dev_[static_cast<std::size_t>(device)].resident;
+}
+
+void mem_engine::note_eviction(logical_data_impl& d, int device) {
+  if (!cfg.prefetch) {
+    return;
+  }
+  if (prefetch_q_.size() >= cfg.prefetch_queue_cap) {
+    prefetch_q_.pop_front();
+  }
+  prefetch_q_.push_back({d.weak_from_this(), device});
+}
+
+void mem_engine::pump_prefetch(context_state& st, int /*device*/) {
+  if (!cfg.prefetch || pumping_ || prefetch_q_.empty()) {
+    return;
+  }
+  pumping_ = true;
+  std::size_t budget = cfg.prefetch_max_inflight;
+  try {
+    while (budget > 0 && !prefetch_q_.empty()) {
+      prefetch_entry e = std::move(prefetch_q_.front());
+      prefetch_q_.pop_front();
+      auto d = e.data.lock();
+      if (!d || d->poisoned_by != 0 || st.device_blacklisted(e.device) ||
+          st.plat->device_failed(e.device)) {
+        continue;
+      }
+      data_instance& inst = d->instance_at(data_place::device(e.device));
+      if (inst.allocated || inst.state != msi_state::invalid || inst.pinned) {
+        continue;  // came back (or never left) on its own
+      }
+      const std::size_t bytes = d->bytes();
+      event_list alloc_events;
+      // Only real pool headroom qualifies: a prefetch must never evict,
+      // and it must not take cached blocks either — under full-pool
+      // pressure those are spoken for by the demand allocations cycling
+      // through the cache, and stealing them re-triggers eviction.
+      void* p = nullptr;
+      const cudasim::device_state& ds = st.plat->device(e.device);
+      if (ds.pool_capacity() - ds.pool_used() >= bytes) {
+        p = st.backend->alloc_device(e.device, bytes, alloc_events);
+      }
+      if (p == nullptr) {
+        prefetch_q_.push_front(std::move(e));  // no capacity yet: retry later
+        break;
+      }
+      inst.ptr = p;
+      inst.allocated = true;
+      inst.writer.merge(alloc_events);
+      reset_fill_tracking(inst);
+      on_resident(e.device, *d, inst);
+      bool filled = false;
+      try {
+        filled = request_transfer(st, *d, inst);
+      } catch (...) {
+        // Opportunistic path: a failing prefetch copy is not an error, the
+        // demand fill will retry and surface it. Accepted segments already
+        // guard the buffer through inst.writer.
+        filled = false;
+      }
+      if (!filled) {
+        release_device_instance(st, *d, inst, /*recycle=*/true);
+        continue;
+      }
+      inst.last_use = ++st.use_counter;  // fresh fill: not the next victim
+      ++st.backend->mutable_stats().prefetch_refills;
+      --budget;
+    }
+  } catch (...) {
+    pumping_ = false;
+    throw;
+  }
+  pumping_ = false;
+}
+
+std::size_t mem_engine::cached_bytes(int device) const {
+  if (static_cast<std::size_t>(device) >= dev_.size()) {
+    return 0;
+  }
+  return dev_[static_cast<std::size_t>(device)].cached_bytes;
+}
+
+void* alloc_host_staging(context_state& st, std::size_t bytes) {
+  void* p = ::operator new(bytes);
+  st.backend->mutable_stats().host_staging_bytes += bytes;
+  return p;
+}
+
+void release_device_instance(context_state& st, logical_data_impl& d,
+                             data_instance& inst, bool recycle) {
+  const int device = inst.place.device_index();
+  event_list deps;
+  deps.merge(inst.readers);
+  deps.merge(inst.writer);
+  st.mem.on_nonresident(device, inst);
+  if (recycle && st.mem.cfg.cache && !st.plat->device_failed(device)) {
+    st.mem.release_block(st, device, d.bytes(), inst.ptr, std::move(deps));
+  } else {
+    st.backend->free_device(device, inst.ptr, deps, st.dangling);
+  }
+  inst.allocated = false;
+  inst.ptr = nullptr;
+  inst.state = msi_state::invalid;
+  inst.readers.clear();
+  inst.writer.clear();
+  reset_fill_tracking(inst);
+}
+
+namespace {
+
+/// Any reader/writer event of `inst` not yet retired in virtual time — the
+/// recycled block would stall its next consumer on those events.
+bool has_pending_events(const data_instance& inst) {
+  for (const event_ptr& e : inst.writer) {
+    if (e && !e->completed()) {
+      return true;
+    }
+  }
+  for (const event_ptr& e : inst.readers) {
+    if (e && !e->completed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool context_state::evict_for(int device, std::size_t bytes_needed) {
+  // Expired registrations must not linger in long-running contexts; the
+  // OOM slow path is the natural (and cheap) place to collect them.
+  sweep_registry();
+  std::vector<mem_engine::resident_ref>* idx = mem.resident(device);
+  if (idx == nullptr || idx->empty()) {
+    return false;
+  }
+  backend_stats& bs = backend->mutable_stats();
+  const bool la = mem.cfg.lookahead;
+  const std::size_t batch = std::max<std::size_t>(1, mem.cfg.evict_batch);
+  std::size_t evicted = 0;
+  std::size_t freed = 0;
+  while (evicted < batch || freed < bytes_needed) {
+    mem_engine::resident_ref best{};
+    mem_engine::resident_ref lru{};
+    std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t lru_key = std::numeric_limits<std::uint64_t>::max();
+    for (const mem_engine::resident_ref& r : *idx) {
+      const data_instance& inst = *r.inst;
+      if (inst.pinned || inst.user_owned || !inst.allocated) {
+        continue;
+      }
+      std::uint64_t key = inst.last_use;
+      if (key < lru_key) {
+        lru_key = key;
+        lru = r;
+      }
+      if (la) {
+        // Scan resistance: streaming instances (reuse interval beyond the
+        // threshold) are evicted most-recent-first and always before hot
+        // ones. scan_base splits the key space so every streaming key
+        // sorts below every hot key; penalties still add on top.
+        constexpr std::uint64_t scan_base = std::uint64_t{1} << 40;
+        if (mem.cfg.scan_threshold != 0 &&
+            inst.last_use - inst.prev_use > mem.cfg.scan_threshold) {
+          key = scan_base - inst.last_use;
+          if (mem.cfg.scan_guard != 0 &&
+              inst.last_use + mem.cfg.scan_guard > use_counter) {
+            // Too young: its producers are still in flight (see scan_guard).
+            key += scan_base / 2;
+          }
+        } else {
+          key += scan_base;
+        }
+        if (inst.state == msi_state::modified) {
+          key += mem.cfg.dirty_penalty;
+        }
+        if (mem.cfg.pending_penalty != 0 && has_pending_events(inst)) {
+          key += mem.cfg.pending_penalty;
+        }
+        if (ckpt != nullptr && mem.cfg.future_penalty != 0 &&
+            ckpt->has_future_use(r.data)) {
+          key += mem.cfg.future_penalty;
+        }
+      }
+      if (key < best_key) {
+        best_key = key;
+        best = r;
+      }
+    }
+    if (best.inst == nullptr) {
+      break;
+    }
+    if (la && best.inst->state != msi_state::modified &&
+        lru.inst != best.inst && lru.inst != nullptr &&
+        lru.inst->state == msi_state::modified) {
+      ++bs.writebacks_avoided;  // pure LRU would have paid a write-back here
+    }
+    logical_data_impl& d = *best.data;
+    data_instance& victim = *best.inst;
+    if (victim.state == msi_state::modified) {
+      // Only valid copy: stage it somewhere safe first. The planner
+      // prefers a healthy peer device with pool headroom (one p2p hop);
+      // otherwise fall back to the host round-trip.
+      if (!stage_eviction_to_peer(*this, d, victim, device)) {
+        data_instance& host = d.instance_at(data_place::host());
+        if (!host.allocated) {
+          host.ptr = alloc_host_staging(*this, d.bytes());
+          host.allocated = true;
+        }
+        issue_copy(*this, d, victim, host);
+        host.state = msi_state::modified;  // device copy is about to vanish
+      }
+    } else {
+      ++bs.clean_drops;  // another valid copy exists: free to drop
+    }
+    mem.note_eviction(d, device);
+    freed += d.bytes();
+    release_device_instance(*this, d, victim, /*recycle=*/true);
+    ++bs.evictions;
+    ++evicted;
+  }
+  return evicted > 0;
+}
+
+void* context_state::alloc_with_eviction(int device, std::size_t bytes,
+                                         event_list& out) {
+  if (plat->device_failed(device)) {
+    // The pool of a failed device would hand out nullptr forever; report
+    // the loss so the submission path re-routes instead of evicting.
+    throw detail::device_lost_error(device);
+  }
+  if (void* p = mem.take_cached(*this, device, bytes, out)) {
+    mem.pump_prefetch(*this, device);
+    return p;
+  }
+  for (;;) {
+    if (void* p = backend->alloc_device(device, bytes, out)) {
+      mem.pump_prefetch(*this, device);
+      return p;
+    }
+    if (plat->consume_injected_alloc_failure()) {
+      // Injected cudaMallocAsync-style failure: not sticky, absorbed by
+      // simply retrying the allocation (§5).
+      ++report.alloc_retries;
+      continue;
+    }
+    if (plat->device_failed(device)) {
+      throw detail::device_lost_error(device);  // died mid-eviction loop
+    }
+    // Pool exhausted. First hand cached blocks (possibly of other size
+    // classes) back to the platform; only then evict resident instances,
+    // a batch at a time (§IV-B, Fig. 3). The evicted blocks land in the
+    // cache, so the retry is usually a recycling hit.
+    if (mem.trim_device(*this, device, bytes)) {
+      continue;
+    }
+    if (!evict_for(device, bytes)) {
+      const cudasim::device_state& dev = plat->device(device);
+      throw oom_error(device, bytes, dev.pool_capacity() - dev.pool_used());
+    }
+    if (void* p = mem.take_cached(*this, device, bytes, out)) {
+      mem.pump_prefetch(*this, device);
+      return p;
+    }
+  }
+}
+
+context_state::~context_state() {
+  // Cached blocks still hold platform pool space; hand them back so a
+  // context torn down without finalize() leaks nothing.
+  try {
+    mem.trim_all(*this);
+  } catch (...) {
+    // Teardown must not throw; the platform reclaims on shutdown.
+  }
+}
+
+}  // namespace cudastf

@@ -431,7 +431,10 @@ bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
       continue;
     }
     const cudasim::device_state& dev = plat.device(p);
-    if (dev.pool_capacity() - dev.pool_used() < bytes) {
+    // Cached freed blocks still count as pool usage but are available to
+    // this allocation (recycled or trimmed), so they count as headroom.
+    if (dev.pool_capacity() - dev.pool_used() + st.mem.cached_bytes(p) <
+        bytes) {
       continue;  // no headroom: parking there would evict in turn
     }
     const std::size_t out = outstanding_from(st, p);
@@ -447,7 +450,13 @@ bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
   const bool fresh = !peer.allocated;
   if (fresh) {
     event_list alloc_events;
-    void* ptr = st.backend->alloc_device(best, bytes, alloc_events);
+    void* ptr = st.mem.take_cached(st, best, bytes, alloc_events);
+    if (ptr == nullptr) {
+      if (st.mem.cached_bytes(best) > 0) {
+        st.mem.trim_device(st, best, bytes);  // free mismatched classes
+      }
+      ptr = st.backend->alloc_device(best, bytes, alloc_events);
+    }
     if (ptr == nullptr) {
       return false;  // pool raced shut: fall back to the host round-trip
     }
@@ -455,6 +464,7 @@ bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
     peer.allocated = true;
     peer.writer.merge(alloc_events);
     reset_fill_tracking(peer);
+    st.mem.on_resident(best, d, peer);
   }
   try {
     issue_copy(st, d, victim, peer);
@@ -462,15 +472,7 @@ bool stage_eviction_to_peer(context_state& st, logical_data_impl& d,
     // Staging failed; accepted segments already guard the buffers. Release
     // a buffer we created and let the caller take the host path.
     if (fresh) {
-      event_list free_deps;
-      free_deps.merge(peer.readers);
-      free_deps.merge(peer.writer);
-      st.backend->free_device(best, peer.ptr, free_deps, st.dangling);
-      peer.allocated = false;
-      peer.ptr = nullptr;
-      peer.readers.clear();
-      peer.writer.clear();
-      reset_fill_tracking(peer);
+      release_device_instance(st, d, peer, /*recycle=*/true);
     }
     return false;
   }
