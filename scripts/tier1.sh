@@ -13,10 +13,11 @@
 # a renamed or dropped counter fails fast, without pinning the (noisy)
 # values themselves.
 #
-# --chaos additionally runs a seeded fault-injection soak: the checkpoint
-# and fault-injection suites loop over distinct seeds until the wall-clock
-# budget (CHAOS_BUDGET seconds, default 60) is spent. Seeds are printed so
-# a failure reproduces with CHAOS_SEED=<n>.
+# --chaos additionally runs a seeded fault-injection soak: the checkpoint,
+# fault-injection and integrity (silent-corruption) suites loop over
+# distinct seeds until the wall-clock budget (CHAOS_BUDGET seconds, default
+# 60) is spent. Seeds are printed so a failure reproduces with
+# CHAOS_SEED=<n>.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -93,6 +94,9 @@ if [[ "$chaos" == 1 ]]; then
     "$build/tests/test_fault_injection" \
       --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
       --gtest_brief=1
+    "$build/tests/test_integrity" \
+      --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
+      --gtest_brief=1
     seed=$((seed + 1))
     rounds=$((rounds + 1))
   done
@@ -103,7 +107,8 @@ if [[ "$sanitize" == 1 ]]; then
   asan_build="$repo/build-asan"
   cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
   cmake --build "$asan_build" -j "$jobs" \
-    --target test_fault_injection test_eviction test_checkpoint test_mem_engine
+    --target test_fault_injection test_eviction test_checkpoint \
+             test_mem_engine test_integrity
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_fault_injection"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
@@ -112,4 +117,6 @@ if [[ "$sanitize" == 1 ]]; then
     "$asan_build/tests/test_checkpoint"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_mem_engine"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_integrity"
 fi

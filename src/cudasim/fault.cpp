@@ -32,6 +32,22 @@ const char* fault_kind_name(fault_kind k) {
       return "link_error";
     case fault_kind::device_fail:
       return "device_fail";
+    case fault_kind::bit_flip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+const char* flip_site_name(flip_site s) {
+  switch (s) {
+    case flip_site::none:
+      return "none";
+    case flip_site::kernel_output:
+      return "kernel_output";
+    case flip_site::copy_payload:
+      return "copy_payload";
+    case flip_site::resident:
+      return "resident";
   }
   return "unknown";
 }
@@ -68,6 +84,33 @@ void fault_injector::schedule_random(std::uint64_t seed, int n_faults,
   }
 }
 
+void fault_injector::schedule_random_flips(std::uint64_t seed, int n_flips,
+                                           std::uint64_t op_span,
+                                           int num_devices) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> op_dist(1, op_span);
+  std::uniform_int_distribution<int> dev_dist(0, num_devices - 1);
+  for (int i = 0; i < n_flips; ++i) {
+    fault_event ev;
+    ev.kind = fault_kind::bit_flip;
+    switch (i % 3) {
+      case 0:
+        ev.site = flip_site::kernel_output;
+        break;
+      case 1:
+        ev.site = flip_site::copy_payload;
+        break;
+      default:
+        ev.site = flip_site::resident;
+        break;
+    }
+    ev.device = dev_dist(rng);
+    ev.at_op = op_dist(rng);
+    ev.flip_seed = rng();
+    pending_.push_back(ev);
+  }
+}
+
 sim_status fault_injector::on_op(op_category cat, int device, double now,
                                  platform& p) {
   ++op_index_;
@@ -88,7 +131,49 @@ sim_status fault_injector::on_op(op_category cat, int device, double now,
       ++i;
     }
   }
-  // Pass 2: at most one transient fault fires per submission, the earliest
+  // Pass 2: at most one bit flip arms per submission. Flips never refuse
+  // the op — the platform corrupts the payload via take_flip and the
+  // submission proceeds, which is what makes the fault silent. Site must
+  // match the op's category (a kernel-output flip rides a kernel launch, a
+  // copy flip rides a copy); resident flips age an at-rest allocation on
+  // the event's device and any submission is merely their clock tick.
+  if (armed_flip_.site == flip_site::none) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const fault_event& ev = pending_[i];
+      if (ev.kind != fault_kind::bit_flip || ev.at_time >= 0.0 ||
+          op_index_ < ev.at_op) {
+        continue;
+      }
+      bool match = false;
+      int target = ev.device;
+      switch (ev.site) {
+        case flip_site::kernel_output:
+          match = cat == op_category::kernel &&
+                  (ev.device < 0 || ev.device == device);
+          target = device;
+          break;
+        case flip_site::copy_payload:
+          match = cat == op_category::copy &&
+                  (ev.device < 0 || ev.device == device);
+          target = device;
+          break;
+        case flip_site::resident:
+          match = true;
+          target = ev.device < 0 ? device : ev.device;
+          break;
+        case flip_site::none:
+          break;
+      }
+      if (!match) {
+        continue;
+      }
+      log_.push_back({fault_kind::bit_flip, target, op_index_, now, ev.site});
+      armed_flip_ = {ev.site, target, ev.flip_seed};
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  // Pass 3: at most one transient fault fires per submission, the earliest
   // scheduled matching one (stable order keeps replays deterministic).
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const fault_event& ev = pending_[i];
@@ -117,6 +202,8 @@ sim_status fault_injector::on_op(op_category cat, int device, double now,
         break;
       case fault_kind::device_fail:
         break;  // handled in pass 1
+      case fault_kind::bit_flip:
+        break;  // handled in pass 2
     }
     if (st != sim_status::success) {
       log_.push_back({ev.kind, device, op_index_, now});
@@ -125,6 +212,15 @@ sim_status fault_injector::on_op(op_category cat, int device, double now,
     }
   }
   return sim_status::success;
+}
+
+bool fault_injector::take_flip(flip_request* out) {
+  if (armed_flip_.site == flip_site::none) {
+    return false;
+  }
+  *out = armed_flip_;
+  armed_flip_ = {};
+  return true;
 }
 
 }  // namespace cudasim

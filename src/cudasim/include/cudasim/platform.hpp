@@ -28,6 +28,14 @@ enum class memcpy_kind : std::uint8_t {
   host_to_host,
 };
 
+/// A byte range the next kernel submission will write (integrity hinting:
+/// an armed kernel_output bit flip lands inside a hinted range instead of
+/// an arbitrary live allocation).
+struct byte_span {
+  void* ptr = nullptr;
+  std::size_t len = 0;
+};
+
 /// Cost descriptor attached to a simulated kernel launch.
 ///
 /// `bytes` is traffic served from the executing device's own memory;
@@ -63,6 +71,14 @@ class device_state {
   /// submitted still completes — the model is fail-stop *at submission*.
   bool failed() const { return failed_; }
 
+  /// Bookkeeping for one live malloc_async/pool_reserve buffer. The
+  /// allocation sequence number gives resident bit flips a deterministic
+  /// victim order independent of hash-map iteration and pointer values.
+  struct alloc_info {
+    std::size_t bytes = 0;
+    std::uint64_t seq = 0;
+  };
+
  private:
   friend class platform;
   int index_;
@@ -72,8 +88,9 @@ class device_state {
   engine copy_out_{engine_kind::copy_out};
   std::size_t pool_used_ = 0;
   bool failed_ = false;
-  /// Buffers handed out by malloc_async; maps base pointer -> size.
-  std::unordered_map<void*, std::size_t> live_allocs_;
+  /// Buffers handed out by malloc_async; maps base pointer -> info.
+  std::unordered_map<void*, alloc_info> live_allocs_;
+  std::uint64_t alloc_seq_ = 0;
 };
 
 /// Computes the modelled execution time of `k` on a device.
@@ -173,6 +190,13 @@ class platform {
   /// engine occupancy). Used for exponential-backoff task retries.
   void stream_delay(stream& s, double seconds);
 
+  /// Declares the byte ranges the next kernel submissions will write, so an
+  /// armed kernel_output bit flip corrupts genuine task output. Cleared with
+  /// clear_output_hints(); without hints the flip falls back to a live
+  /// allocation on the device. Only consulted while an injector is armed.
+  void set_output_hints(std::vector<byte_span> spans);
+  void clear_output_hints();
+
   /// DES nodes recycled through the timeline's slab pool (fast-path
   /// perf counter; see DESIGN.md "Host-side fast path").
   std::uint64_t nodes_pooled() const { return tl_.nodes_pooled(); }
@@ -227,6 +251,16 @@ class platform {
   /// fully determined) and reclaim nodes. Called with mu_ held.
   void maybe_drain_locked();
 
+  /// Corrupts one byte of a deterministically chosen live allocation on the
+  /// request's device, immediately (at-rest aging needs no stream ordering,
+  /// and deferring would race the deferred std::free bodies). mu_ held.
+  void apply_resident_flip_locked(const flip_request& fr);
+
+  /// Hands over (and clears) the flip armed by the last poll. Each
+  /// submission path consumes or drops it before returning so a flip armed
+  /// on a refused op never leaks into a later one.
+  bool take_pending_flip(flip_request* out);
+
   std::vector<std::unique_ptr<device_state>> devices_;
   engine host_engine_{engine_kind::host};
   timeline tl_;
@@ -240,7 +274,12 @@ class platform {
   bool alloc_fault_pending_ = false;
   bool faults_armed_ = false;
   bool any_device_failed_ = false;
+  flip_request pending_flip_;
+  std::vector<byte_span> output_hints_;
 };
+
+/// Flips one deterministic bit of `[p, p+len)` derived from `seed`.
+void flip_payload_byte(void* p, std::size_t len, std::uint64_t seed);
 
 /// Process-wide default platform management. Tests and benches typically
 /// install their own platform for the duration of a scope.

@@ -57,7 +57,40 @@ int platform::current_device() const {
   return current_;
 }
 
+void flip_payload_byte(void* p, std::size_t len, std::uint64_t seed) {
+  if (p == nullptr || len == 0) {
+    return;
+  }
+  auto* b = static_cast<unsigned char*>(p);
+  b[seed % len] ^= static_cast<unsigned char>(1u << ((seed >> 8) % 8));
+}
+
 namespace {
+
+/// Deterministic corruption victim among a device's live allocations:
+/// ordered by allocation sequence so the pick never depends on hash-map
+/// iteration order or pointer values.
+bool pick_live_alloc(const std::unordered_map<void*, device_state::alloc_info>&
+                         allocs,
+                     std::uint64_t seed, void** out_p, std::size_t* out_len) {
+  if (allocs.empty()) {
+    return false;
+  }
+  std::vector<std::pair<std::uint64_t, std::pair<void*, std::size_t>>> order;
+  order.reserve(allocs.size());
+  for (const auto& [p, info] : allocs) {
+    order.emplace_back(info.seq, std::make_pair(p, info.bytes));
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto& pick = order[seed % order.size()].second;
+  if (pick.second == 0) {
+    return false;
+  }
+  *out_p = pick.first;
+  *out_len = pick.second;
+  return true;
+}
 
 // Capture helpers: while a stream captures, submissions are appended to the
 // capture graph, chained behind the stream's capture tail.
@@ -92,6 +125,34 @@ void platform::launch_kernel(stream& s, const kernel_desc& k,
     if (injected != sim_status::success) {
       s.set_status(injected);
       return;
+    }
+    flip_request fr;
+    if (take_pending_flip(&fr)) {
+      // Silent output corruption: the kernel runs normally, then one bit of
+      // a hinted output range (or, without hints, of a live allocation on
+      // the device) flips. The one-shot guard keeps memoized graph
+      // relaunches from re-flipping — two flips of the same bit cancel.
+      void* tp = nullptr;
+      std::size_t tlen = 0;
+      if (!output_hints_.empty()) {
+        const byte_span& sp = output_hints_[fr.seed % output_hints_.size()];
+        tp = sp.ptr;
+        tlen = sp.len;
+      } else {
+        pick_live_alloc(device(s.device()).live_allocs_, fr.seed, &tp, &tlen);
+      }
+      if (tp != nullptr && tlen > 0) {
+        auto fired = std::make_shared<bool>(false);
+        body = [inner = std::move(body), tp, tlen, seed = fr.seed, fired] {
+          if (inner) {
+            inner();
+          }
+          if (!*fired) {
+            *fired = true;
+            flip_payload_byte(tp, tlen, seed);
+          }
+        };
+      }
     }
   } else if (s.status() != sim_status::success) {
     return;  // sticky even when set without an injector
@@ -148,6 +209,8 @@ platform::copy_plan platform::plan_copy(int devidx, std::size_t n,
 void platform::memcpy_async(void* dst, const void* src, std::size_t n,
                             memcpy_kind kind, stream& s) {
   std::lock_guard lock(mu_);
+  flip_request flip;
+  bool have_flip = false;
   if (faults_armed_) {
     const sim_status injected =
         poll_faults_locked(op_category::copy, s.device());
@@ -165,23 +228,50 @@ void platform::memcpy_async(void* dst, const void* src, std::size_t n,
       s.set_status(injected);
       return;
     }
+    have_flip = take_pending_flip(&flip) && dst != nullptr && n > 0;
   } else if (s.status() != sim_status::success) {
     return;
   }
   if (s.capturing()) {
     graph* g = s.capture_graph();
-    set_capture_tail(
-        s, g->add_memcpy_node(capture_deps(s), dst, src, n, kind, s.device()));
+    graph_node node =
+        g->add_memcpy_node(capture_deps(s), dst, src, n, kind, s.device());
+    if (have_flip) {
+      // In-flight corruption during capture: a host node right behind the
+      // memcpy node flips one destination bit (one-shot across relaunches).
+      auto fired = std::make_shared<bool>(false);
+      node = g->add_host_node({node}, [dst, n, seed = flip.seed, fired] {
+        if (!*fired) {
+          *fired = true;
+          flip_payload_byte(dst, n, seed);
+        }
+      });
+    }
+    set_capture_tail(s, node);
     return;
   }
   const copy_plan plan = plan_copy(s.device(), n, kind);
   task_fn body;
   if (copy_payloads_) {
-    body = [dst, src, n] {
-      if (dst != nullptr && src != nullptr && n > 0) {
-        std::memmove(dst, src, n);
-      }
-    };
+    if (have_flip) {
+      // The copy delivers, then one destination bit silently flips.
+      auto fired = std::make_shared<bool>(false);
+      body = [dst, src, n, seed = flip.seed, fired] {
+        if (src != nullptr) {
+          std::memmove(dst, src, n);
+        }
+        if (!*fired) {
+          *fired = true;
+          flip_payload_byte(dst, n, seed);
+        }
+      };
+    } else {
+      body = [dst, src, n] {
+        if (dst != nullptr && src != nullptr && n > 0) {
+          std::memmove(dst, src, n);
+        }
+      };
+    }
   }
   op_node* node =
       tl_.make_node("memcpy", s.device(), plan.eng, plan.seconds, std::move(body));
@@ -207,6 +297,8 @@ void platform::memcpy_peer_async(void* dst, int dst_device, const void* src,
     throw std::out_of_range("cudasim: memcpy_peer_async device out of range");
   }
   std::lock_guard lock(mu_);
+  flip_request flip;
+  bool have_flip = false;
   if (faults_armed_) {
     const sim_status injected =
         poll_faults_locked(op_category::copy, s.device());
@@ -223,13 +315,24 @@ void platform::memcpy_peer_async(void* dst, int dst_device, const void* src,
       s.set_status(injected);
       return;
     }
+    have_flip = take_pending_flip(&flip) && dst != nullptr && n > 0;
   } else if (s.status() != sim_status::success) {
     return;
   }
   if (s.capturing()) {
     graph* g = s.capture_graph();
-    set_capture_tail(s, g->add_memcpy_peer_node(capture_deps(s), dst,
-                                                dst_device, src, src_device, n));
+    graph_node node = g->add_memcpy_peer_node(capture_deps(s), dst, dst_device,
+                                              src, src_device, n);
+    if (have_flip) {
+      auto fired = std::make_shared<bool>(false);
+      node = g->add_host_node({node}, [dst, n, seed = flip.seed, fired] {
+        if (!*fired) {
+          *fired = true;
+          flip_payload_byte(dst, n, seed);
+        }
+      });
+    }
+    set_capture_tail(s, node);
     return;
   }
   device_state& sdev = device(src_device);
@@ -238,11 +341,24 @@ void platform::memcpy_peer_async(void* dst, int dst_device, const void* src,
       sdev.desc().copy_latency + static_cast<double>(n) / sdev.desc().p2p_bw;
   task_fn body;
   if (copy_payloads_) {
-    body = [dst, src, n] {
-      if (dst != nullptr && src != nullptr && n > 0) {
-        std::memmove(dst, src, n);
-      }
-    };
+    if (have_flip) {
+      auto fired = std::make_shared<bool>(false);
+      body = [dst, src, n, seed = flip.seed, fired] {
+        if (src != nullptr) {
+          std::memmove(dst, src, n);
+        }
+        if (!*fired) {
+          *fired = true;
+          flip_payload_byte(dst, n, seed);
+        }
+      };
+    } else {
+      body = [dst, src, n] {
+        if (dst != nullptr && src != nullptr && n > 0) {
+          std::memmove(dst, src, n);
+        }
+      };
+    }
   }
   op_node* out = tl_.make_node("memcpyPeerSrc", src_device, &sdev.copy_out(),
                                seconds, std::move(body));
@@ -315,7 +431,8 @@ void* platform::malloc_async(std::size_t bytes, stream& s) {
     return nullptr;
   }
   dev.pool_used_ += bytes;
-  dev.live_allocs_.emplace(p, bytes);
+  dev.live_allocs_.emplace(p,
+                           device_state::alloc_info{bytes, dev.alloc_seq_++});
   // The allocation itself is stream-ordered: later ops on the stream wait
   // for it, modelling cudaMallocAsync.
   op_node* node = tl_.make_node("mallocAsync", s.device(), &dev.compute(),
@@ -342,7 +459,7 @@ void platform::free_async(void* p, stream& s) {
   if (it == dev.live_allocs_.end()) {
     throw std::logic_error("cudasim: free_async of unknown pointer");
   }
-  const std::size_t bytes = it->second;
+  const std::size_t bytes = it->second.bytes;
   dev.live_allocs_.erase(it);
   // Pool space is returned in submission order (the pool can reuse the range
   // for future stream-ordered allocations); the host backing is released when
@@ -367,7 +484,8 @@ void* platform::pool_reserve(int devidx, std::size_t bytes) {
     return nullptr;
   }
   dev.pool_used_ += bytes;
-  dev.live_allocs_.emplace(p, bytes);
+  dev.live_allocs_.emplace(p,
+                           device_state::alloc_info{bytes, dev.alloc_seq_++});
   return p;
 }
 
@@ -381,7 +499,7 @@ void platform::pool_unreserve(int devidx, void* p) {
   if (it == dev.live_allocs_.end()) {
     throw std::logic_error("cudasim: pool_unreserve of unknown pointer");
   }
-  dev.pool_used_ -= it->second;
+  dev.pool_used_ -= it->second.bytes;
   dev.live_allocs_.erase(it);
   std::free(p);
 }
@@ -440,7 +558,54 @@ sim_status platform::poll_faults_locked(op_category cat, int device) {
   if (!injector_) {
     return sim_status::success;
   }
-  return injector_->on_op(cat, device, tl_.now(), *this);
+  pending_flip_ = {};  // a flip armed on a refused earlier op is dropped
+  const sim_status st = injector_->on_op(cat, device, tl_.now(), *this);
+  flip_request fr;
+  if (injector_->take_flip(&fr)) {
+    if (!copy_payloads_) {
+      // Timing-only runs carry no meaningful payload bytes to corrupt.
+    } else if (fr.site == flip_site::resident) {
+      apply_resident_flip_locked(fr);
+    } else {
+      pending_flip_ = fr;
+    }
+  }
+  return st;
+}
+
+void platform::apply_resident_flip_locked(const flip_request& fr) {
+  if (fr.device < 0 || fr.device >= device_count()) {
+    return;
+  }
+  device_state& dev = device(fr.device);
+  void* p = nullptr;
+  std::size_t len = 0;
+  // Applied immediately: at-rest aging needs no stream ordering, and a
+  // pointer still present in live_allocs_ has not had free_async submitted,
+  // so its backing is alive. Deferring to a DES node would race the
+  // deferred std::free bodies.
+  if (pick_live_alloc(dev.live_allocs_, fr.seed, &p, &len)) {
+    flip_payload_byte(p, len, fr.seed);
+  }
+}
+
+bool platform::take_pending_flip(flip_request* out) {
+  if (pending_flip_.site == flip_site::none) {
+    return false;
+  }
+  *out = pending_flip_;
+  pending_flip_ = {};
+  return true;
+}
+
+void platform::set_output_hints(std::vector<byte_span> spans) {
+  std::lock_guard lock(mu_);
+  output_hints_ = std::move(spans);
+}
+
+void platform::clear_output_hints() {
+  std::lock_guard lock(mu_);
+  output_hints_.clear();
 }
 
 void platform::fail_device(int dev) {

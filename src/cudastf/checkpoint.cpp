@@ -121,6 +121,10 @@ bool checkpoint_manager::take_checkpoint() {
     entry* e;
     std::uint64_t version;
     bool copied;
+    data_instance* src = nullptr;    ///< snapshot source (integrity verify)
+    event_list evs;                  ///< snapshot copy completion
+    std::uint64_t sum = 0;           ///< spare checksum (integrity commit)
+    bool summed = false;
   };
   std::vector<planned> plan;
   std::uint64_t bytes_staged = 0;
@@ -141,9 +145,9 @@ bool checkpoint_manager::take_checkpoint() {
       if (!e.spare) {
         e.spare = std::make_unique<char[]>(d->bytes());
       }
-      issue_snapshot_copy(*st_, *d, *src, e.spare.get());
+      event_list evs = issue_snapshot_copy(*st_, *d, *src, e.spare.get());
       bytes_staged += d->bytes();
-      plan.push_back({&e, d->write_version, true});
+      plan.push_back({&e, d->write_version, true, src, std::move(evs)});
     }
     st_->backend->fence();  // epoch barrier: isolate the snapshot epoch
   } catch (...) {
@@ -160,11 +164,66 @@ bool checkpoint_manager::take_checkpoint() {
     return false;
   }
 
+  // Trust boundary (integrity engine, DESIGN.md §10): committing corrupt
+  // bytes would make every later rollback replay them as truth. Each
+  // staged spare is verified against the reference checksum before the
+  // swap; any mismatch aborts the whole attempt, keeping the previous
+  // committed state intact for every entry.
+  if (st_->integ != nullptr && st_->plat != nullptr &&
+      st_->plat->copy_payloads()) [[unlikely]] {
+    for (planned& p : plan) {
+      if (!p.copied) {
+        continue;
+      }
+      auto d = p.e->data.lock();
+      if (!d || d->bytes() == 0) {
+        continue;
+      }
+      st_->backend->wait(p.evs);
+      st_->backend->wait(d->integ_ready);
+      p.sum = integrity_checksum(p.e->spare.get(), d->bytes());
+      p.summed = true;
+      if (d->integ == nullptr || !d->integ->valid ||
+          d->integ->version != p.version) {
+        continue;  // no reference for this generation: adopt the spare
+      }
+      if (p.sum == d->integ->sum) {
+        ++bs.checksums_verified;
+        continue;
+      }
+      ++bs.checksum_mismatches;
+      // Was the source itself corrupt, or only the copy into the spare?
+      // A corrupt source is invalidated and repaired from a verified
+      // sharer when one exists; a sole corrupt copy escalates through the
+      // ladder (restart from the *previous* committed snapshot, else
+      // poison). An in-flight copy flip leaves the source untouched — the
+      // next trigger simply re-snapshots.
+      if (p.src != nullptr &&
+          !st_->integ->verify_instance(*st_, *d, *p.src,
+                                       "checkpoint_commit") &&
+          !st_->integ->handle_corruption(*st_, *d, *p.src,
+                                         "checkpoint_commit")) {
+        task_dep_untyped dep;
+        dep.data = d;
+        dep.mode = access_mode::rw;
+        const task_dep_untyped* dp = &dep;
+        detail::fail_task_or_restart(
+            *st_, &dp, 1, "checkpoint", failure_kind::data_corrupted, -1, 1,
+            "snapshot of '" + d->name() +
+                "' failed verification at checkpoint_commit (write_version " +
+                std::to_string(p.version) + ") with no valid replica");
+      }
+      return false;
+    }
+  }
+
   // Atomic commit: all-or-nothing swap of the staged buffers.
   for (planned& p : plan) {
     if (p.copied) {
       std::swap(p.e->committed, p.e->spare);
       p.e->has_committed = true;
+      p.e->committed_sum = p.sum;
+      p.e->has_sum = p.summed;
     }
     p.e->committed_version = p.version;
   }
@@ -191,8 +250,37 @@ void checkpoint_manager::restore_entry(entry& e, logical_data_impl& d) {
   d.last_writer.clear();
   d.readers_since_write.clear();
   d.poisoned_by = 0;
-  d.write_version = e.committed_version;
+  // Contents generations are strictly monotonic — never roll write_version
+  // back to the committed value. The transfer planner coalesces onto
+  // in-flight fills keyed by write_version, so reusing a number from the
+  // generation's previous life would let a stale fill satisfy a
+  // post-rollback demand. Instead the restored contents get a fresh
+  // generation and the snapshot is re-keyed to it, so the entry stays
+  // clean until genuinely rewritten.
+  d.write_version = std::max(d.write_version, e.committed_version) + 1;
+  e.committed_version = d.write_version;
   if (e.has_committed) {
+    // Trust boundary (integrity engine, DESIGN.md §10): a rotted committed
+    // snapshot must not be installed as truth. Poison instead of restoring;
+    // dependents cancel with the cause chain naming the data.
+    if (st_->integ != nullptr && e.has_sum && st_->plat != nullptr &&
+        st_->plat->copy_payloads() && d.bytes() > 0) [[unlikely]] {
+      backend_stats& bs = st_->backend->mutable_stats();
+      if (integrity_checksum(e.committed.get(), d.bytes()) !=
+          e.committed_sum) {
+        ++bs.checksum_mismatches;
+        d.poisoned_by = st_->record_failure(
+            failure_kind::data_corrupted, d.name(), -1, 1,
+            "committed snapshot failed verification at checkpoint_restore "
+            "(write_version " + std::to_string(d.write_version) + ")");
+        if (!st_->report.failures.empty() &&
+            st_->report.failures.back().id == d.poisoned_by) {
+          st_->report.failures.back().poisoned.push_back(d.name());
+        }
+        return;  // every instance stays invalid
+      }
+      ++bs.checksums_verified;
+    }
     data_instance& host = d.instance_at(data_place::host());
     if (!host.allocated) {
       host.ptr = alloc_host_staging(*st_, d.bytes());
@@ -200,6 +288,21 @@ void checkpoint_manager::restore_entry(entry& e, logical_data_impl& d) {
     }
     std::memcpy(host.ptr, e.committed.get(), d.bytes());
     host.state = msi_state::modified;
+  }
+  // Re-seed the reference checksum for the fresh generation: the restored
+  // bytes are the committed ones, whose sum was recorded at commit.
+  if (st_->integ != nullptr) [[unlikely]] {
+    d.integ_ready.clear();
+    if (e.has_committed && e.has_sum) {
+      if (d.integ == nullptr) {
+        d.integ = std::make_shared<integrity_entry>();
+      }
+      d.integ->sum = e.committed_sum;
+      d.integ->version = d.write_version;
+      d.integ->valid = true;
+    } else if (d.integ != nullptr) {
+      d.integ->valid = false;  // trust-on-first-use re-seeds later
+    }
   }
   // !has_committed: the data was never written as of the committed epoch;
   // leaving every instance invalid re-creates exactly that state (the

@@ -101,6 +101,11 @@ data_impl_ptr context::register_impl(std::vector<std::size_t> extents,
   if (st_->ckpt != nullptr) {
     st_->ckpt->on_register(impl);
   }
+  if (st_->integ != nullptr) {
+    // Seed the reference checksum from the settled host contents now, so a
+    // corrupted first device fill cannot be adopted as truth (DESIGN.md §10).
+    st_->integ->adopt(*st_, *impl);
+  }
   if (st_->registry.size() % 256 == 0) {
     st_->sweep_registry();
   }

@@ -177,6 +177,14 @@ event_list acquire_dep(context_state& st, const task_dep_untyped& dep,
     // rw on never-written data proceeds on uninitialized contents.
   }
 
+  // Trust boundary (integrity engine, DESIGN.md §10): a read-mode
+  // dependency's bytes are verified against the reference checksum —
+  // catching both at-rest corruption of an already valid replica and a
+  // flipped payload of the fill just issued above.
+  if (st.integ != nullptr && mode_reads(dep.mode)) [[unlikely]] {
+    st.integ->verify_on_acquire(st, d, inst);
+  }
+
   // Instance-level readiness: when the instance can be read / modified.
   st.events_pruned += l.merge(inst.writer);
   if (mode_writes(dep.mode)) {
@@ -209,6 +217,9 @@ void release_dep(context_state& st, const task_dep_untyped& dep,
     // failed writing task (which never releases) leaves the version alone
     // and a retried fill can still coalesce onto the in-flight one.
     ++d.write_version;
+    if (st.integ != nullptr) [[unlikely]] {
+      st.integ->on_write_release(st, d, *inst, done);
+    }
   } else {
     st.events_pruned += d.readers_since_write.merge(done);
     st.events_pruned += inst->readers.merge(done);
@@ -229,6 +240,11 @@ event_list write_back_host(context_state& st, logical_data_impl& d) {
   }
   if (!request_transfer(st, d, *host)) {
     return {};  // no valid copy survives: nothing to write back
+  }
+  if (st.integ != nullptr) [[unlikely]] {
+    // Last trust boundary before the bytes reach the application: a flip
+    // on the write-back copy itself must not escape into the host backing.
+    st.integ->verify_on_acquire(st, d, *host);
   }
   return host->writer;  // the fill's (possibly chunked) completion events
 }

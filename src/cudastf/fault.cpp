@@ -28,6 +28,8 @@ const char* failure_kind_name(failure_kind k) {
       return "submission_exception";
     case failure_kind::data_lost:
       return "data_lost";
+    case failure_kind::data_corrupted:
+      return "data_corrupted";
     case failure_kind::cancelled:
       return "cancelled";
   }
@@ -53,6 +55,21 @@ std::string error_report::to_string() const {
                     " re-routed, " + std::to_string(alloc_retries) +
                     " alloc retries, " + std::to_string(devices_blacklisted) +
                     " device(s) blacklisted\n";
+  // Integrity failures (checksum mismatches that survived repair) carry
+  // the data symbol, device, write_version and detection site in their
+  // detail line; count them up front so a corruption storm is visible at a
+  // glance.
+  std::size_t corrupted = 0;
+  for (const task_failure& f : failures) {
+    if (f.kind == failure_kind::data_corrupted) {
+      ++corrupted;
+    }
+  }
+  if (corrupted > 0) {
+    out += "  " + std::to_string(corrupted) +
+           " data corruption(s) detected with no valid replica to repair "
+           "from\n";
+  }
 
   // Cause-chain tree: each failure hangs under its first recorded cause
   // (ids only ever point backwards, so the graph is a DAG and first-cause
@@ -262,6 +279,26 @@ void context_state::blacklist_device(int device) {
       }
       if (!on_dead) {
         continue;
+      }
+      // Trust boundary (integrity engine, DESIGN.md §10): the evacuated
+      // bytes become the data's only copy — never persist corrupt ones.
+      // A corrupt sole copy on a dead device is unrepairable: record the
+      // corruption and skip the evacuation (the instance is torn down
+      // below like any other dead replica).
+      if (integ != nullptr && inst->state == msi_state::modified &&
+          d->poisoned_by == 0) [[unlikely]] {
+        if (!integ->verify_instance(*this, *d, *inst, "evacuation") &&
+            !integ->handle_corruption(*this, *d, *inst, "evacuation")) {
+          d->poisoned_by = record_failure(
+              failure_kind::data_corrupted, d->name(), device, 1,
+              "checksum mismatch at evacuation (write_version " +
+                  std::to_string(d->write_version) +
+                  ") with no valid replica to repair from");
+          if (!report.failures.empty() &&
+              report.failures.back().id == d->poisoned_by) {
+            report.failures.back().poisoned.push_back(d->name());
+          }
+        }
       }
       if (inst->state == msi_state::modified && d->poisoned_by == 0) {
         // Only valid copy lives (partly) on the dead device: stage it to

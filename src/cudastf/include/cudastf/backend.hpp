@@ -87,6 +87,20 @@ struct backend_stats {
   /// Whole-epoch graph launches that were refused by a transient fault and
   /// relaunched in place (a refused launch enqueues none of its nodes).
   std::uint64_t graph_launch_retries = 0;
+
+  // --- integrity engine (DESIGN.md §10) ---
+  /// Content checksums computed at write-release (one per writing task).
+  std::uint64_t checksums_computed = 0;
+  /// Instance verifications performed at trust boundaries.
+  std::uint64_t checksums_verified = 0;
+  /// Verifications that caught corrupted bytes.
+  std::uint64_t checksum_mismatches = 0;
+  /// Corrupt replicas invalidated and re-sourced from a valid MSI sharer.
+  std::uint64_t replicas_repaired = 0;
+  /// Background scrubber sweeps over resident instances.
+  std::uint64_t scrub_passes = 0;
+  /// Dual-execution verification reruns (task_config::verified()).
+  std::uint64_t verified_reexecutions = 0;
 };
 
 /// Outcome of one run() submission (DESIGN.md §5). The platform never

@@ -119,6 +119,12 @@ class checkpoint_manager {
     /// since registration (not yet captured).
     std::uint64_t committed_version = 0;
     bool has_committed = false;
+    /// Checksum of the committed bytes (integrity engine, DESIGN.md §10):
+    /// written at commit after the staged spare verified against the
+    /// reference, re-checked at rollback restore before the snapshot is
+    /// trusted. Only maintained while the engine is armed.
+    std::uint64_t committed_sum = 0;
+    bool has_sum = false;
   };
 
   void restore_entry(entry& e, logical_data_impl& d);

@@ -206,6 +206,37 @@ class context {
   /// The checkpoint manager, or nullptr while disabled (introspection).
   const checkpoint_manager* checkpointing() const { return st_->ckpt.get(); }
 
+  // --- end-to-end data integrity (DESIGN.md §10) ---
+
+  /// Arms the integrity engine and returns its knobs (content checksums at
+  /// trust boundaries, replica repair, dual-execution voting). The first
+  /// call creates the engine and adopts already-registered data: settled
+  /// host contents become the trusted reference, closing the
+  /// trust-on-first-use window. Never calling this leaves every hook at a
+  /// single null-pointer check — the disarmed fast path is untouched.
+  integrity_config& integrity_options() {
+    std::lock_guard lock(st_->mu);
+    if (st_->integ == nullptr) {
+      st_->integ = std::make_unique<integrity_engine>();
+      st_->sweep_registry();
+      for (auto& w : st_->registry) {
+        if (auto d = w.lock()) {
+          st_->integ->adopt(*st_, *d);
+        }
+      }
+    }
+    return st_->integ->cfg;
+  }
+
+  /// One idle-time scrubber pass: verifies every resident replica against
+  /// its reference checksum, repairing (or escalating) mismatches exactly
+  /// like a trust-boundary detection. Returns the number of replicas
+  /// verified; 0 when the integrity engine is disarmed.
+  std::size_t scrub() {
+    std::lock_guard lock(st_->mu);
+    return st_->integ == nullptr ? 0 : st_->integ->scrub(*st_);
+  }
+
   // --- declared task ordering (DESIGN.md §7 watchdog) ---
 
   /// Declares that tasks submitted with symbol `after` must start after

@@ -16,6 +16,7 @@
 #include "cudastf/checkpoint.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
+#include "cudastf/integrity.hpp"
 #include "cudastf/mem_engine.hpp"
 #include "cudastf/transfer.hpp"
 
@@ -147,6 +148,13 @@ struct context_state {
   /// Every submission-path hook gates on this single pointer, so the
   /// fault-free fast path pays one null check when disabled.
   std::unique_ptr<checkpoint_manager> ckpt;
+
+  // --- integrity engine (integrity.cpp, DESIGN.md §10) ---
+
+  /// Non-null once ctx.integrity_options() has been called. Like ckpt,
+  /// every checksum/verify hook gates on this single pointer, so a
+  /// disarmed context pays one null check per boundary.
+  std::unique_ptr<integrity_engine> integ;
 
   // --- declared task ordering (DESIGN.md §7 watchdog) ---
 

@@ -74,6 +74,18 @@ struct data_instance {
   std::vector<event_ptr> fill_chunks;
 };
 
+/// Reference checksum of a logical data's contents at one write_version
+/// (integrity engine, DESIGN.md §10). Shared between the data and the
+/// asynchronous checksum bodies that fill it in, so a body draining after
+/// the data died writes into a still-live entry.
+struct integrity_entry {
+  std::uint64_t sum = 0;
+  /// write_version the sum describes; a verification against a different
+  /// version is meaningless (trust-on-first-use re-seeds instead).
+  std::uint64_t version = 0;
+  bool valid = false;
+};
+
 /// Type-erased core of logical_data<T>. All mutation happens under the
 /// owning context's submission lock. Shared-from-this so the memory
 /// engine's prefetch queue can hold weak references to eviction victims.
@@ -117,6 +129,14 @@ class logical_data_impl
   /// A failed task poisons the data it would have written; dependents are
   /// cancelled instead of executed and write-back is skipped (§5).
   std::uint64_t poisoned_by = 0;
+
+  /// Reference content checksum (integrity engine; null while disarmed).
+  /// Computed asynchronously on the producing stream at write-release and
+  /// consulted at every trust boundary.
+  std::shared_ptr<integrity_entry> integ;
+  /// Completion of the pending checksum computation; a verification must
+  /// wait on it before trusting integ->sum.
+  event_list integ_ready;
 
   /// Set while a prologue runs so the allocator will not evict our
   /// instances mid-acquire.

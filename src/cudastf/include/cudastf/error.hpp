@@ -27,6 +27,7 @@ enum class failure_kind : std::uint8_t {
   out_of_memory,         ///< allocation failed with nothing left to evict
   submission_exception,  ///< a task body / merge threw mid-submission
   data_lost,             ///< write-back or evacuation of a sole copy failed
+  data_corrupted,        ///< checksum mismatch with no valid replica to repair from
   cancelled,             ///< not executed: an input/output was poisoned
 };
 
@@ -133,6 +134,30 @@ struct transfer_error : std::runtime_error {
                            cudasim::status_name(s)),
         status(s) {}
   cudasim::sim_status status;
+};
+
+/// Internal control flow: a checksum verification failed and the replica
+/// could not be repaired from another valid sharer. Caught by the
+/// submission engine, which escalates to an epoch restart (when
+/// checkpointing is armed) or poison-cancels with a cause chain naming the
+/// data symbol, device and detection site.
+struct corruption_error : std::runtime_error {
+  corruption_error(std::string data_symbol, int dev, std::string detect_site,
+                   std::uint64_t version)
+      : std::runtime_error("cudastf: data corruption detected: '" +
+                           data_symbol + "' (write_version " +
+                           std::to_string(version) + ") on " +
+                           (dev < 0 ? std::string("host")
+                                    : "device " + std::to_string(dev)) +
+                           " at " + detect_site),
+        symbol(std::move(data_symbol)),
+        site(std::move(detect_site)),
+        device(dev),
+        write_version(version) {}
+  std::string symbol;
+  std::string site;
+  int device;
+  std::uint64_t write_version;
 };
 
 /// sim_status -> failure_kind for permanent failures.

@@ -198,6 +198,13 @@ class [[nodiscard]] launch_builder {
                                      failure_kind::link_error, devices.front(),
                                      round + 1, e.what());
         return;
+      } catch (const detail::corruption_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::data_corrupted, e.device,
+                                     round + 1, e.what());
+        return;
       } catch (const std::bad_alloc& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
@@ -207,6 +214,9 @@ class [[nodiscard]] launch_builder {
         return;
       }
       auto views = detail::make_views(resolved, deps_, seq);
+      // Publish the written spans to the fault injector so a scheduled
+      // kernel_output flip lands in real task output (integrity.cpp).
+      detail::output_hint_guard hints(*st_, untyped.data(), n, resolved.data());
       event_list done;
       detail::resilient_result bad;
       int bad_device = -1;

@@ -69,6 +69,17 @@ class [[nodiscard]] task_builder {
     return std::move(*this);
   }
 
+  /// Marks the task for dual-execution verification (integrity engine,
+  /// DESIGN.md §10): the body runs twice from the same pre-state and the
+  /// result is accepted only when both executions agree on every written
+  /// dependency's bytes — a third run votes on disagreement, and no
+  /// majority escalates as data corruption. Requires an armed integrity
+  /// engine (ctx.integrity_options()); a no-op otherwise.
+  task_builder&& verified() && {
+    verified_ = true;
+    return std::move(*this);
+  }
+
   /// Submits the task. `fn` receives (stream&, views...).
   template <class Fn>
   void operator->*(Fn&& fn) && {
@@ -116,15 +127,29 @@ class [[nodiscard]] task_builder {
                       views](cudasim::stream& s) mutable {
         std::apply([&](auto&... v) { fn(s, v...); }, views);
       };
-      event_ptr done =
-          st_->backend->run(device, backend_iface::channel::compute, ready,
-                            payload, symbol_);
-      // One list, moved into place — release_dep copies are refcount bumps.
-      const event_list done_list(std::move(done));
+      event_list done_list;
+      if (st_->integ != nullptr &&
+          (verified_ || st_->integ->cfg.verify_all_tasks)) [[unlikely]] {
+        const auto untyped = make_untyped();
+        done_list =
+            detail::run_verified(*st_, device, ready, payload, symbol_,
+                                 untyped.data(), untyped.size(),
+                                 resolved.data());
+      } else {
+        event_ptr done =
+            st_->backend->run(device, backend_iface::channel::compute, ready,
+                              payload, symbol_);
+        // One list, moved into place — release_dep copies are refcount
+        // bumps.
+        done_list = event_list(std::move(done));
+      }
       detail::release_all(*st_, resolved, deps_, done_list, seq);
       if (!st_->order_edges.empty()) [[unlikely]] {
         st_->order_record(symbol_, done_list);
       }
+    } catch (const detail::corruption_error& e) {
+      record_submit_failure(failure_kind::data_corrupted, e.device, e.what());
+      throw;
     } catch (const std::bad_alloc& e) {
       record_submit_failure(failure_kind::out_of_memory, device, e.what());
       throw;
@@ -231,6 +256,16 @@ class [[nodiscard]] task_builder {
                                      failure_kind::link_error, device,
                                      round + 1, e.what());
         return;
+      } catch (const detail::corruption_error& e) {
+        // Checksum mismatch with no valid replica (integrity engine,
+        // DESIGN.md §10): escalate — epoch restart when checkpointing is
+        // armed, else the poison placed at detection time stands.
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::data_corrupted, e.device,
+                                     round + 1, e.what());
+        return;
       } catch (const std::bad_alloc& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
@@ -248,9 +283,31 @@ class [[nodiscard]] task_builder {
       };
       detail::resilient_result r;
       try {
+        // Declare the written byte ranges while the submission is in
+        // flight so an armed kernel_output flip corrupts genuine output.
+        detail::output_hint_guard hints(*st_, untyped.data(), n,
+                                        resolved.data());
+        if (st_->integ != nullptr &&
+            (verified_ || st_->integ->cfg.verify_all_tasks)) [[unlikely]] {
+          const event_list done_list = detail::run_verified(
+              *st_, device, ready, payload, symbol_, untyped.data(), n,
+              resolved.data());
+          detail::release_all(*st_, resolved, deps_, done_list, seq);
+          if (!st_->order_edges.empty()) {
+            st_->order_record(symbol_, done_list);
+          }
+          return;
+        }
         r = detail::run_resilient(*st_, device,
                                   backend_iface::channel::compute, ready,
                                   payload, symbol_);
+      } catch (const detail::corruption_error& e) {
+        snap.restore();
+        detail::unpin_deps(untyped.data(), n);
+        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
+                                     failure_kind::data_corrupted, e.device,
+                                     round + 1, e.what());
+        return;
       } catch (const std::exception& e) {
         snap.restore();
         detail::unpin_deps(untyped.data(), n);
@@ -294,6 +351,7 @@ class [[nodiscard]] task_builder {
   exec_place where_;
   std::tuple<Deps...> deps_;
   std::string symbol_ = "task";
+  bool verified_ = false;  ///< dual-execution voting requested (.verified())
 };
 
 /// Builder for host tasks (CPU-bound work integrated in the DAG, e.g. the
@@ -387,6 +445,16 @@ class [[nodiscard]] host_launch_builder {
       detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
                                    symbol_, failure_kind::link_error, -1, 1,
                                    e.what());
+    } catch (const detail::corruption_error& e) {
+      detail::unpin_deps(untyped.data(), untyped.size());
+      if (!aware) {
+        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
+                          failure_kind::data_corrupted, e.device, 1, e.what());
+        throw;
+      }
+      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
+                                   symbol_, failure_kind::data_corrupted,
+                                   e.device, 1, e.what());
     } catch (const std::bad_alloc& e) {
       detail::unpin_deps(untyped.data(), untyped.size());
       if (!aware) {

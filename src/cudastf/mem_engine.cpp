@@ -194,6 +194,15 @@ void mem_engine::pump_prefetch(context_state& st, int /*device*/) {
         // guard the buffer through inst.writer.
         filled = false;
       }
+      // Trust boundary (integrity engine, DESIGN.md §10): the source was
+      // vetted at pick time, so a mismatch here means the copy itself was
+      // flipped in flight — drop the refill, the demand path retries.
+      if (filled && st.integ != nullptr) [[unlikely]] {
+        if (!st.integ->verify_instance(st, *d, inst, "prefetch_refill")) {
+          st.integ->handle_corruption(st, *d, inst, "prefetch_refill");
+          filled = inst.state != msi_state::invalid;
+        }
+      }
       if (!filled) {
         release_device_instance(st, *d, inst, /*recycle=*/true);
         continue;
@@ -333,6 +342,20 @@ bool context_state::evict_for(int device, std::size_t bytes_needed) {
     }
     logical_data_impl& d = *best.data;
     data_instance& victim = *best.inst;
+    // Trust boundary (integrity engine, DESIGN.md §10): a modified victim
+    // is about to become the data's only copy via write-back — never
+    // persist corrupt bytes. A corrupt victim with a verified sharer is
+    // simply dropped (repair); a sole corrupt copy escalates (the
+    // corruption_error propagates to the submission engine through
+    // alloc_with_eviction).
+    if (integ != nullptr && victim.state == msi_state::modified)
+        [[unlikely]] {
+      if (!integ->verify_instance(*this, d, victim, "eviction_writeback") &&
+          !integ->handle_corruption(*this, d, victim,
+                                    "eviction_writeback")) {
+        detail::throw_corruption(*this, d, device, "eviction_writeback");
+      }
+    }
     if (victim.state == msi_state::modified) {
       // Only valid copy: stage it somewhere safe first. The planner
       // prefers a healthy peer device with pool headroom (one p2p hop);

@@ -327,6 +327,20 @@ bool request_transfer(context_state& st, logical_data_impl& d,
     return true;
   }
   data_instance* src = pick_transfer_source(st, d, dst);
+  // Trust boundary (integrity engine, DESIGN.md §10): never propagate a
+  // corrupt replica. The picked source is verified; a corrupt one is
+  // invalidated (repair vets the survivors) and the pick re-runs over
+  // what remains. Exhausting every source escalates.
+  if (st.integ != nullptr && src != nullptr) [[unlikely]] {
+    while (src != nullptr &&
+           !st.integ->verify_instance(st, d, *src, "transfer_source")) {
+      if (!st.integ->handle_corruption(st, d, *src, "transfer_source")) {
+        detail::throw_corruption(st, d, place_device(src->place),
+                                 "transfer_source");
+      }
+      src = pick_transfer_source(st, d, dst);
+    }
+  }
   if (src == nullptr) {
     return false;
   }
