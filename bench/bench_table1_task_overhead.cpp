@@ -6,11 +6,18 @@
 // measurement, mean +/- standard deviation over repetitions, on both the
 // A100 and H100 device models.
 //
-// With --json, emits one JSON record per topology/device pair on stdout
-// (a single array) for regression tracking; see BENCH_table1.json.
+// --threads N submits through ctx.parallel_submit(N, ...) (§VII-E,
+// DESIGN.md §11), partitioning tasks by column % N so each worker keeps
+// per-data affinity; the derived tasks/sec column measures aggregate
+// submission throughput. The default run appends a 1/2/4/8-thread sweep
+// for the TRIVIAL and TREE topologies on both device models.
+//
+// With --json, emits one JSON record per topology/device/threads triple on
+// stdout (a single array) for regression tracking; see BENCH_table1.json.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -22,9 +29,12 @@ namespace {
 using namespace cudastf;
 
 // Submits the topology as empty tasks over per-column logical data and
-// returns microseconds per task (host submission time only).
-double run_once(cudasim::platform& plat, const std::vector<taskbench::task_node>& tasks,
-                std::uint32_t width) {
+// returns microseconds per task (host submission time only). With
+// n_threads > 1 the submission runs under parallel_submit, each worker
+// handling the columns congruent to its id.
+double run_once(cudasim::platform& plat,
+                const std::vector<taskbench::task_node>& tasks,
+                std::uint32_t width, int n_threads) {
   context ctx(plat);
   std::vector<logical_data<slice<double>>> cols;
   std::vector<std::vector<double>> backing(width, std::vector<double>(4, 0.0));
@@ -38,8 +48,7 @@ double run_once(cudasim::platform& plat, const std::vector<taskbench::task_node>
     ctx.task(cols[i].rw())->*[](cudasim::stream&, slice<double>) {};
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& t : tasks) {
+  auto submit_one = [&](const taskbench::task_node& t) {
     auto body = [](cudasim::stream&, auto...) {};
     auto& self = cols[t.column];
     switch (t.deps.size()) {
@@ -57,6 +66,22 @@ double run_once(cudasim::platform& plat, const std::vector<taskbench::task_node>
                  cols[t.deps[2]].read())->*body;
         break;
     }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (n_threads <= 1) {
+    for (const auto& t : tasks) {
+      submit_one(t);
+    }
+  } else {
+    ctx.parallel_submit(n_threads, [&](int tid) {
+      for (const auto& t : tasks) {
+        if (static_cast<int>(t.column %
+                             static_cast<std::uint32_t>(n_threads)) == tid) {
+          submit_one(t);
+        }
+      }
+    });
   }
   const auto t1 = std::chrono::steady_clock::now();
   ctx.finalize();
@@ -65,29 +90,86 @@ double run_once(cudasim::platform& plat, const std::vector<taskbench::task_node>
   return us / static_cast<double>(tasks.size());
 }
 
+struct measurement {
+  double mean_us = 0.0;
+  double stdev_us = 0.0;
+  double tasks_per_sec = 0.0;  ///< derived from mean_us
+};
+
+measurement measure(const cudasim::device_desc& desc,
+                    const std::vector<taskbench::task_node>& tasks,
+                    std::uint32_t width, int n_threads, int reps) {
+  std::vector<double> samples;
+  for (int r = 0; r < reps; ++r) {
+    cudasim::platform plat(1, desc);
+    samples.push_back(run_once(plat, tasks, width, n_threads));
+  }
+  measurement out;
+  for (double s : samples) {
+    out.mean_us += s;
+  }
+  out.mean_us /= reps;
+  double v = 0;
+  for (double s : samples) {
+    v += (s - out.mean_us) * (s - out.mean_us);
+  }
+  out.stdev_us = std::sqrt(v / reps);
+  out.tasks_per_sec = out.mean_us > 0 ? 1.0e6 / out.mean_us : 0.0;
+  return out;
+}
+
+void print_json_record(bool& first, taskbench::topology topo, double avg_deps,
+                       std::uint32_t tasks, int reps, const char* device,
+                       int threads, const measurement& m) {
+  std::printf(
+      "%s\n  {\"topology\": \"%s\", \"device\": \"%s\", "
+      "\"avg_deps\": %.4f, \"tasks\": %u, \"reps\": %d, \"threads\": %d, "
+      "\"mean_us_per_task\": %.4f, \"stdev_us_per_task\": %.4f, "
+      "\"tasks_per_sec\": %.1f}",
+      first ? "" : ",", taskbench::name(topo), device, avg_deps, tasks, reps,
+      threads, m.mean_us, m.stdev_us, m.tasks_per_sec);
+  first = false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   constexpr std::uint32_t width = 50;
   constexpr std::uint32_t steps = 100;  // 5000 tasks per run
   constexpr int reps = 5;
+  constexpr int sweep_reps = 3;
 
   bool json = false;
+  int threads = 1;
+  bool explicit_threads = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      explicit_threads = true;
+      if (threads < 1) {
+        std::fprintf(stderr, "bad --threads value\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json] [--threads N]\n", argv[0]);
       return 2;
     }
   }
+
+  const char* devices[2] = {"A100", "H100"};
+  const cudasim::device_desc descs[2] = {cudasim::a100_desc(),
+                                         cudasim::h100_desc()};
 
   if (json) {
     std::printf("[");
   } else {
     std::printf("Table I: task cost for different graph topologies\n");
-    std::printf("(empty tasks; avg submission time over %u tasks, %d reps)\n\n",
-                width * steps, reps);
+    std::printf(
+        "(empty tasks; avg submission time over %u tasks, %d reps, "
+        "%d submitting thread%s)\n\n",
+        width * steps, reps, threads, threads == 1 ? "" : "s");
     std::printf("%-22s %-26s %-26s\n", "Graph Topology (deps)",
                 "A100 model (us)", "H100 model (us)");
   }
@@ -96,46 +178,57 @@ int main(int argc, char** argv) {
   for (taskbench::topology topo : taskbench::all_topologies()) {
     auto tasks = taskbench::generate(topo, width, steps, 2024);
     const double avg_deps = taskbench::average_deps(tasks);
-    double mean[2], stdev[2];
-    int col = 0;
-    for (auto desc : {cudasim::a100_desc(), cudasim::h100_desc()}) {
-      std::vector<double> samples;
-      for (int r = 0; r < reps; ++r) {
-        cudasim::platform plat(1, desc);
-        samples.push_back(run_once(plat, tasks, width));
-      }
-      double m = 0;
-      for (double s : samples) {
-        m += s;
-      }
-      m /= reps;
-      double v = 0;
-      for (double s : samples) {
-        v += (s - m) * (s - m);
-      }
-      mean[col] = m;
-      stdev[col] = std::sqrt(v / reps);
-      ++col;
+    measurement m[2];
+    for (int d = 0; d < 2; ++d) {
+      m[d] = measure(descs[d], tasks, width, threads, reps);
     }
     if (json) {
-      const char* devices[2] = {"A100", "H100"};
       for (int d = 0; d < 2; ++d) {
-        std::printf(
-            "%s\n  {\"topology\": \"%s\", \"device\": \"%s\", "
-            "\"avg_deps\": %.4f, \"tasks\": %u, \"reps\": %d, "
-            "\"mean_us_per_task\": %.4f, \"stdev_us_per_task\": %.4f}",
-            first_record ? "" : ",", taskbench::name(topo), devices[d],
-            avg_deps, width * steps, reps, mean[d], stdev[d]);
-        first_record = false;
+        print_json_record(first_record, topo, avg_deps, width * steps, reps,
+                          devices[d], threads, m[d]);
       }
     } else {
       char label[64];
       std::snprintf(label, sizeof label, "%s (%.2f)", taskbench::name(topo),
                     avg_deps);
       std::printf("%-22s %8.2f +/- %-12.3f %8.2f +/- %-12.3f\n", label,
-                  mean[0], stdev[0], mean[1], stdev[1]);
+                  m[0].mean_us, m[0].stdev_us, m[1].mean_us, m[1].stdev_us);
     }
   }
+
+  // Threaded submission sweep (skipped when --threads pinned a count):
+  // TRIVIAL (independent columns, the scaling-friendly case) and TREE
+  // (cross-column joins) at 2/4/8 workers. The 1-thread rows above are the
+  // baseline for the same topologies.
+  if (!explicit_threads) {
+    if (!json) {
+      std::printf("\nParallel submission sweep (tasks/sec, %d reps):\n",
+                  sweep_reps);
+      std::printf("%-10s %-8s %-16s %-16s\n", "Topology", "Threads",
+                  "A100 tasks/s", "H100 tasks/s");
+    }
+    for (taskbench::topology topo :
+         {taskbench::topology::trivial, taskbench::topology::tree}) {
+      auto tasks = taskbench::generate(topo, width, steps, 2024);
+      const double avg_deps = taskbench::average_deps(tasks);
+      for (int t : {2, 4, 8}) {
+        measurement m[2];
+        for (int d = 0; d < 2; ++d) {
+          m[d] = measure(descs[d], tasks, width, t, sweep_reps);
+        }
+        if (json) {
+          for (int d = 0; d < 2; ++d) {
+            print_json_record(first_record, topo, avg_deps, width * steps,
+                              sweep_reps, devices[d], t, m[d]);
+          }
+        } else {
+          std::printf("%-10s %-8d %-16.0f %-16.0f\n", taskbench::name(topo),
+                      t, m[0].tasks_per_sec, m[1].tasks_per_sec);
+        }
+      }
+    }
+  }
+
   if (json) {
     std::printf("\n]\n");
   } else {

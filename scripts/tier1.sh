@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then the
 # Table I task-overhead benchmark in JSON mode. Exits nonzero on any
-# failure. Usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [--chaos]
-#                                  [build-dir]
+# failure. Usage: scripts/tier1.sh [--sanitize] [--tsan] [--bench-smoke]
+#                                  [--chaos] [build-dir]
 #
 # --sanitize additionally builds an ASan+UBSan tree (build-asan) and runs
 # the fault-injection, checkpoint and eviction tests under it — the error
 # and recovery paths are where lifetime bugs would hide.
+#
+# --tsan additionally builds a ThreadSanitizer tree (build-tsan) and runs
+# the parallel-submission, fast-path and fault-injection tests under it —
+# the sharded submission paths (DESIGN.md §11) are where data races would
+# hide.
 #
 # --bench-smoke additionally runs every --json benchmark once and diffs the
 # set of JSON record keys against the checked-in BENCH_*.json baselines —
@@ -22,15 +27,17 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=0
+tsan=0
 bench_smoke=0
 chaos=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
+    --tsan) tsan=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --chaos) chaos=1 ;;
     *)
-      echo "usage: scripts/tier1.sh [--sanitize] [--bench-smoke] [--chaos] [build-dir]" >&2
+      echo "usage: scripts/tier1.sh [--sanitize] [--tsan] [--bench-smoke] [--chaos] [build-dir]" >&2
       exit 2
       ;;
   esac
@@ -119,4 +126,14 @@ if [[ "$sanitize" == 1 ]]; then
     "$asan_build/tests/test_mem_engine"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_integrity"
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  tsan_build="$repo/build-tsan"
+  cmake -S "$repo" -B "$tsan_build" -DREPRO_TSAN=ON
+  cmake --build "$tsan_build" -j "$jobs" \
+    --target test_parallel_submit test_fastpath test_fault_injection
+  TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_parallel_submit"
+  TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fastpath"
+  TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fault_injection"
 fi

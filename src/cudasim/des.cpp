@@ -22,14 +22,27 @@ const char* timeline::intern(std::string_view name) {
 
 op_node* timeline::make_node(std::string_view name, int device, engine* eng,
                              double duration, task_fn body) {
-  op_node* node;
-  if (!free_.empty()) {
-    node = free_.back();
-    free_.pop_back();
+  // Pop from the calling thread's recycle shard first (cache affinity under
+  // multi-threaded submission), then steal from any other shard.
+  auto pop_recycled = [this]() -> op_node* {
+    const std::size_t home =
+        static_cast<std::size_t>(thread_slot()) % free_shard_count;
+    for (std::size_t i = 0; i < free_shard_count; ++i) {
+      auto& shard = free_shards_[(home + i) % free_shard_count];
+      if (!shard.empty()) {
+        op_node* n = shard.back();
+        shard.pop_back();
+        return n;
+      }
+    }
+    return nullptr;
+  };
+  op_node* node = pop_recycled();
+  if (node != nullptr) {
     ++pooled_;
     node->unmet = 0;
     node->submitted = false;
-    node->done = false;
+    node->done.store(false, std::memory_order_relaxed);
     node->t_ready = 0.0;
     node->t_start = 0.0;
     node->t_end = 0.0;
@@ -51,7 +64,8 @@ op_node* timeline::make_node(std::string_view name, int device, engine* eng,
 }
 
 void timeline::add_dep(op_node* pred, op_node* succ) {
-  if (pred == nullptr || pred->done || pred == succ) {
+  if (pred == nullptr || pred->done.load(std::memory_order_relaxed) ||
+      pred == succ) {
     return;
   }
   assert(!succ->submitted && "dependencies must be wired before submit()");
@@ -114,7 +128,9 @@ void timeline::start_on_engine(engine* eng, timepoint t) {
 }
 
 void timeline::complete(op_node* node) {
-  node->done = true;
+  // Release so a lock-free event::query() acquiring `done` also observes the
+  // node's final timestamps.
+  node->done.store(true, std::memory_order_release);
   now_ = std::max(now_, node->t_end);
   ++completed_;
   --live_;
@@ -166,7 +182,7 @@ std::string timeline::stuck_report() const {
         si + 1 == slabs_.size() ? slab_used_ : slab_nodes;
     for (std::size_t ni = 0; ni < count; ++ni) {
       const op_node& n = slabs_[si][ni];
-      if (!n.submitted || n.done) {
+      if (!n.submitted || n.done.load(std::memory_order_relaxed)) {
         continue;
       }
       ++total;
@@ -217,19 +233,27 @@ std::string timeline::stuck_report() const {
 void timeline::gc() {
   // Completed nodes are reclaimable as soon as external handles (streams,
   // events) have dropped their pointers: nothing in the DAG points backwards
-  // at a completed node once its successor list has been cleared.
-  if (retired_.empty()) {
+  // at a completed node once its successor list has been cleared. Only the
+  // prefix covered by the last mark_collected() is recycled — nodes retired
+  // after the last handle sweep may still be referenced by an event on
+  // another thread, and resurrecting them would corrupt its lock-free
+  // query(). Recycled nodes land in the calling thread's shard.
+  const std::size_t n = std::min(collected_, retired_.size());
+  if (n == 0) {
     return;
   }
-  free_.reserve(free_.size() + retired_.size());
-  for (op_node* node : retired_) {
-    free_.push_back(node);
-  }
-  retired_.clear();
+  auto& home =
+      free_shards_[static_cast<std::size_t>(thread_slot()) % free_shard_count];
+  home.reserve(home.size() + n);
+  home.insert(home.end(), retired_.begin(),
+              retired_.begin() + static_cast<std::ptrdiff_t>(n));
+  retired_.erase(retired_.begin(),
+                 retired_.begin() + static_cast<std::ptrdiff_t>(n));
+  collected_ = 0;
 }
 
 void timeline::drain_until(const op_node* node) {
-  while (!node->done) {
+  while (!node->done.load(std::memory_order_relaxed)) {
     if (events_.empty()) {
       throw std::logic_error(
           "cudasim: waiting on an operation that can never complete "

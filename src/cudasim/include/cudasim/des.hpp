@@ -12,6 +12,8 @@
 // in a small-buffer callable, and successor edges use inline storage.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -32,6 +34,17 @@ namespace cudasim {
 
 /// Virtual time in seconds.
 using timepoint = double;
+
+/// Small dense identifier for the calling thread, assigned on first use and
+/// stable for the thread's lifetime. Used to shard thread-affine resources
+/// (node recycle pools, per-thread stat cells, stream striping) without a
+/// registry. Slots are never reused; shard consumers reduce modulo their
+/// shard count.
+inline int thread_slot() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
 
 /// Hardware resource classes an operation can occupy.
 enum class engine_kind : std::uint8_t {
@@ -200,7 +213,14 @@ struct op_node {
   succ_list succs;
   int unmet = 0;  ///< predecessors not yet complete
   bool submitted = false;
-  bool done = false;
+  /// Completion flag. Atomic because event::query() reads it without the
+  /// platform lock (the only lock-free read in the simulator): completion
+  /// stores with release order so an acquire load observing `true` also
+  /// observes the final timestamps. All other accesses happen under the
+  /// platform lock and use relaxed order. A reader holding a stale pointer
+  /// to a recycled node may observe a spurious `false` — query() is
+  /// documented as conservative and monotonic (see stream.hpp).
+  std::atomic<bool> done{false};
   /// True when this node represents accepted work (it occupies an engine,
   /// or it is the join marker of a multi-engine operation such as a peer
   /// copy). Pure synchronization markers appended by submission wrappers
@@ -271,10 +291,18 @@ class timeline {
   /// caller. Appended to the errors drain()/drain_until() throw.
   std::string stuck_report() const;
 
-  /// Recycles completed nodes into the slab pool. Callers must first drop
-  /// every external pointer to completed nodes (see
-  /// platform::collect_handles()).
+  /// Recycles completed nodes into the slab pool. Only nodes covered by the
+  /// most recent mark_collected() call are recycled: a node retired *after*
+  /// external handles were last swept may still be referenced by an event on
+  /// another thread, and recycling it would let a stale lock-free query()
+  /// observe a resurrected node. platform::collect_handles() marks; gc()
+  /// reclaims the marked prefix.
   void gc();
+
+  /// Declares that every node retired so far has had its external handle
+  /// pointers dropped (streams/events swept), making the current retired set
+  /// safe for gc() to recycle. Called by platform::collect_handles().
+  void mark_collected() { collected_ = retired_.size(); }
 
   /// Largest completion time observed so far.
   timepoint now() const { return now_; }
@@ -321,10 +349,19 @@ class timeline {
   void complete(op_node* node);
 
   static constexpr std::size_t slab_nodes = 256;
+  /// Recycle pools are sharded by thread_slot(): a submitting thread reuses
+  /// nodes it (or the thread draining on its behalf) retired, keeping hot
+  /// nodes in the local cache under multi-threaded submission. All shard
+  /// access still happens under the platform lock — the sharding is an
+  /// affinity optimization, not a synchronization mechanism.
+  static constexpr std::size_t free_shard_count = 8;
+
   std::vector<op_node*> slabs_;          ///< slab base pointers (owned)
   std::size_t slab_used_ = slab_nodes;   ///< forces first-slab allocation
-  std::vector<op_node*> free_;           ///< recycled nodes ready for reuse
+  std::array<std::vector<op_node*>, free_shard_count>
+      free_shards_;                      ///< recycled nodes ready for reuse
   std::vector<op_node*> retired_;        ///< completed, awaiting gc()
+  std::size_t collected_ = 0;            ///< retired prefix safe to recycle
   std::unordered_set<std::string, sv_hash, sv_eq> names_;
 
   std::priority_queue<pending_event, std::vector<pending_event>,

@@ -3,6 +3,8 @@
 // runtime + driver in this reproduction (see DESIGN.md §1).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -96,8 +98,13 @@ class device_state {
 /// Computes the modelled execution time of `k` on a device.
 double kernel_cost_seconds(const device_desc& d, const kernel_desc& k);
 
-/// The simulated machine. Thread-safe for submission (a single mutex
-/// serializes all API calls, mirroring the driver lock).
+/// The simulated machine. Thread-safe for submission: a single mutex
+/// serializes the stateful API calls (mirroring the driver lock), while the
+/// hottest per-task reads bypass it — current_device() and faults_armed()
+/// are lock-free atomics, event registration is sharded, and event::query()
+/// reads atomic completion flags. The critical sections are short (one node
+/// creation plus wiring), so concurrent submitters from many host threads
+/// contend only briefly (DESIGN.md §11).
 class platform {
  public:
   /// Builds a homogeneous machine of `num_devices` copies of `desc`.
@@ -168,7 +175,11 @@ class platform {
   /// Creates an injector if none is installed and returns it for scheduling.
   fault_injector& ensure_fault_injector();
   fault_injector* injector() const { return injector_.get(); }
-  bool has_injector() const { return injector_ != nullptr; }
+  /// Lock-free (the STF fast path consults it per task without the driver
+  /// lock); tracks injector_ through an atomic mirror.
+  bool has_injector() const {
+    return has_injector_.load(std::memory_order_acquire);
+  }
 
   /// Marks a device as permanently failed (fail-stop at submission). Also
   /// fired by the injector on device_fail events. Idempotent.
@@ -177,8 +188,11 @@ class platform {
 
   /// True once an injector is installed or any device has failed. The
   /// submission paths skip all fault bookkeeping while this is false, so a
-  /// fault-free platform pays one predictable branch per op.
-  bool faults_armed() const { return faults_armed_; }
+  /// fault-free platform pays one predictable branch per op. Lock-free, so
+  /// the STF fast path can consult it without the driver lock.
+  bool faults_armed() const {
+    return faults_armed_.load(std::memory_order_acquire);
+  }
 
   /// True exactly once after an injected alloc_fail made malloc_async
   /// return nullptr. Lets allocators distinguish the injected (transient,
@@ -228,9 +242,14 @@ class platform {
   engine& host_engine() { return host_engine_; }
   void register_stream(stream* s) { streams_.insert(s); }
   void unregister_stream(stream* s) { streams_.erase(s); }
-  void register_event(event* e) { events_.insert(e); }
-  void unregister_event(event* e) { events_.erase(e); }
-  /// Drops handle pointers to completed nodes so drain() can reclaim them.
+  /// Event registration is sharded by handle address: the per-task event
+  /// ctor/dtor on the multi-threaded fast path locks only its shard, never
+  /// the driver lock. Lock order is driver lock -> shard (collect_handles);
+  /// registration takes a shard lock alone, so the order never inverts.
+  void register_event(event* e);
+  void unregister_event(event* e);
+  /// Drops handle pointers to completed nodes so drain() can reclaim them,
+  /// then marks the retired set collected (see timeline::mark_collected()).
   void collect_handles();
   /// Bandwidth of host-to-host staging copies (checkpoint snapshots of
   /// host-resident data, eviction staging). Configurable so checkpoint
@@ -261,18 +280,31 @@ class platform {
   /// on a refused op never leaks into a later one.
   bool take_pending_flip(flip_request* out);
 
+  struct event_shard {
+    std::mutex mu;
+    std::unordered_set<event*> events;
+  };
+  static constexpr std::size_t event_shard_count = 16;
+  event_shard& shard_of(const event* e) {
+    return event_shards_[(reinterpret_cast<std::uintptr_t>(e) >> 6) %
+                         event_shard_count];
+  }
+
   std::vector<std::unique_ptr<device_state>> devices_;
   engine host_engine_{engine_kind::host};
   timeline tl_;
   mutable std::recursive_mutex mu_;
-  int current_ = 0;
+  /// Current device. Atomic so current_device() — consulted once per task on
+  /// the submission fast path — never touches the driver lock.
+  std::atomic<int> current_{0};
   bool copy_payloads_ = true;
   double host_memcpy_bw_ = 50.0e9;
   std::unordered_set<stream*> streams_;
-  std::unordered_set<event*> events_;
+  std::array<event_shard, event_shard_count> event_shards_;
   std::shared_ptr<fault_injector> injector_;
+  std::atomic<bool> has_injector_{false};
   bool alloc_fault_pending_ = false;
-  bool faults_armed_ = false;
+  std::atomic<bool> faults_armed_{false};
   bool any_device_failed_ = false;
   flip_request pending_flip_;
   std::vector<byte_span> output_hints_;

@@ -1,6 +1,16 @@
 // Simulated CUDA streams and events.
+//
+// Thread-safety: all mutating operations take the platform lock internally.
+// event::query() is the one lock-free read (it backs event_list pruning on
+// the multi-threaded submission fast path); it reads the atomic node pointer
+// and the node's atomic completion flag, and is conservative — a stale
+// pointer to a recycled node yields `false`, never a false `true`, and the
+// result is monotonic (once true, always true). Concurrent submissions to
+// the *same* stream must be serialized externally (the STF stream backend
+// holds a per-stream mutex); different streams need no coordination.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -66,9 +76,12 @@ class stream {
   bool capturing() const { return capture_ != nullptr; }
   graph* capture_graph() const { return capture_; }
 
-  // Internal: dependency chaining used by the platform.
-  op_node* last() const { return last_; }
-  void set_last(op_node* n) { last_ = n; }
+  // Internal: dependency chaining used by the platform. `last_` is atomic
+  // because platform::collect_handles() clears completed tails under the
+  // platform lock while another thread's submission path may read the tail
+  // holding only its per-stream mutex.
+  op_node* last() const { return last_.load(std::memory_order_acquire); }
+  void set_last(op_node* n) { last_.store(n, std::memory_order_release); }
   void drop_completed();  ///< forget last_ if it already completed
   /// Internal: monotone per-stream counter stamped onto recorded events.
   std::uint64_t next_record_seq() { return ++record_seq_; }
@@ -80,8 +93,11 @@ class stream {
   int device_;
   std::uint64_t uid_;
   std::uint64_t record_seq_ = 0;
-  op_node* last_ = nullptr;
+  std::atomic<op_node*> last_{nullptr};
   graph* capture_ = nullptr;
+  // Written only by platform submission calls made while the submitting
+  // thread owns the stream (same thread that reads it back), so it needs no
+  // atomicity of its own.
   sim_status status_ = sim_status::success;
 };
 
@@ -103,6 +119,8 @@ class event {
   void synchronize();
 
   /// True once the recorded point has completed (cudaEventQuery).
+  /// Lock-free and safe to call from any thread; conservative (may lag the
+  /// truth by one handle sweep) and monotonic once it returns true.
   bool query() const;
 
   /// Virtual timestamp of completion; only valid after synchronize().
@@ -115,14 +133,17 @@ class event {
   std::uint64_t record_seq() const { return seq_; }
 
   // Internal.
-  op_node* node() const { return node_; }
+  op_node* node() const { return node_.load(std::memory_order_acquire); }
   void drop_completed();
 
  private:
   friend class stream;
   friend class platform;
   platform* plat_;
-  op_node* node_ = nullptr;  ///< pending tail node, null once collected
+  /// Pending tail node, null once collected. Atomic: cleared by
+  /// platform::collect_handles() under the platform lock while query() may
+  /// read it lock-free from a submitting thread.
+  std::atomic<op_node*> node_{nullptr};
   bool recorded_ = false;
   timepoint t_end_ = 0.0;
   std::uint64_t stream_uid_ = 0;

@@ -48,13 +48,11 @@ void platform::set_device(int i) {
   if (i < 0 || i >= device_count()) {
     throw std::out_of_range("cudasim: set_device out of range");
   }
-  std::lock_guard lock(mu_);
-  current_ = i;
+  current_.store(i, std::memory_order_release);
 }
 
 int platform::current_device() const {
-  std::lock_guard lock(mu_);
-  return current_;
+  return current_.load(std::memory_order_acquire);
 }
 
 void flip_payload_byte(void* p, std::size_t len, std::uint64_t seed) {
@@ -542,7 +540,9 @@ void platform::launch_host_func(stream& s, std::function<void()> fn,
 void platform::set_fault_injector(std::shared_ptr<fault_injector> fi) {
   std::lock_guard lock(mu_);
   injector_ = std::move(fi);
-  faults_armed_ = injector_ != nullptr || any_device_failed_;
+  has_injector_.store(injector_ != nullptr, std::memory_order_release);
+  faults_armed_.store(injector_ != nullptr || any_device_failed_,
+                      std::memory_order_release);
 }
 
 fault_injector& platform::ensure_fault_injector() {
@@ -550,7 +550,8 @@ fault_injector& platform::ensure_fault_injector() {
   if (!injector_) {
     injector_ = std::make_shared<fault_injector>();
   }
-  faults_armed_ = true;
+  has_injector_.store(true, std::memory_order_release);
+  faults_armed_.store(true, std::memory_order_release);
   return *injector_;
 }
 
@@ -612,7 +613,7 @@ void platform::fail_device(int dev) {
   std::lock_guard lock(mu_);
   device(dev).failed_ = true;
   any_device_failed_ = true;
-  faults_armed_ = true;
+  faults_armed_.store(true, std::memory_order_release);
 }
 
 bool platform::device_failed(int dev) const {
@@ -658,7 +659,7 @@ void platform::stream_synchronize(stream& s) {
   if (last == nullptr) {
     return;
   }
-  if (!last->done) {
+  if (!last->done.load(std::memory_order_relaxed)) {
     tl_.drain_until(last);
   }
   collect_handles();
@@ -672,13 +673,33 @@ void platform::synchronize() {
   tl_.gc();
 }
 
+void platform::register_event(event* e) {
+  event_shard& sh = shard_of(e);
+  std::lock_guard lock(sh.mu);
+  sh.events.insert(e);
+}
+
+void platform::unregister_event(event* e) {
+  event_shard& sh = shard_of(e);
+  std::lock_guard lock(sh.mu);
+  sh.events.erase(e);
+}
+
 void platform::collect_handles() {
+  // Called with mu_ held. Shard locks nest inside the driver lock; event
+  // registration takes only its shard lock, so the order never inverts.
   for (stream* s : streams_) {
     s->drop_completed();
   }
-  for (event* e : events_) {
-    e->drop_completed();
+  for (event_shard& sh : event_shards_) {
+    std::lock_guard lock(sh.mu);
+    for (event* e : sh.events) {
+      e->drop_completed();
+    }
   }
+  // Everything retired up to this point has had its handles dropped and is
+  // now safe for timeline::gc() to recycle.
+  tl_.mark_collected();
 }
 
 namespace {

@@ -36,7 +36,7 @@ stream::stream(stream&& other) noexcept
       device_(other.device_),
       uid_(other.uid_),
       record_seq_(other.record_seq_),
-      last_(other.last_),
+      last_(other.last_.load(std::memory_order_relaxed)),
       capture_(other.capture_),
       status_(other.status_) {
   capture_tail_ = other.capture_tail_;
@@ -44,7 +44,7 @@ stream::stream(stream&& other) noexcept
   plat_->unregister_stream(&other);
   plat_->register_stream(this);
   other.plat_ = nullptr;
-  other.last_ = nullptr;
+  other.last_.store(nullptr, std::memory_order_relaxed);
   other.capture_ = nullptr;
 }
 
@@ -63,33 +63,36 @@ void stream::wait_events(const event* const* evs, std::size_t n) {
   // Collect still-pending nodes (completed events need no ordering) and fuse
   // them, together with the previous tail, into one join marker so future
   // work waits on everything. Very wide lists chain one join per chunk.
+  op_node* tail = last_.load(std::memory_order_relaxed);
   constexpr std::size_t chunk = 16;
   op_node* pending[chunk];
   std::size_t np = 0;
   for (std::size_t i = 0; i < n; ++i) {
     op_node* evn = evs[i]->node();
-    if (evn == nullptr || evn->done || evn == last_) {
+    if (evn == nullptr || evn->done.load(std::memory_order_relaxed) ||
+        evn == tail) {
       continue;
     }
     pending[np++] = evn;
     if (np == chunk) {
       op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
-      timeline::add_dep(last_, join);
+      timeline::add_dep(tail, join);
       for (std::size_t j = 0; j < np; ++j) {
         timeline::add_dep(pending[j], join);
       }
-      last_ = join;
+      tail = join;
+      last_.store(join, std::memory_order_release);
       plat_->tl().submit(join);
       np = 0;
     }
   }
   if (np != 0) {
     op_node* join = plat_->tl().make_node("waitEvent", device_, nullptr, 0.0);
-    timeline::add_dep(last_, join);
+    timeline::add_dep(tail, join);
     for (std::size_t j = 0; j < np; ++j) {
       timeline::add_dep(pending[j], join);
     }
-    last_ = join;
+    last_.store(join, std::memory_order_release);
     plat_->tl().submit(join);
   }
 }
@@ -97,7 +100,8 @@ void stream::wait_events(const event* const* evs, std::size_t n) {
 void stream::synchronize() { plat_->stream_synchronize(*this); }
 
 timepoint stream::last_op_end() const {
-  return last_ == nullptr ? 0.0 : last_->t_end;
+  op_node* tail = last_.load(std::memory_order_acquire);
+  return tail == nullptr ? 0.0 : tail->t_end;
 }
 
 void stream::begin_capture(graph& g) {
@@ -116,35 +120,34 @@ graph* stream::end_capture() {
 }
 
 void stream::drop_completed() {
-  if (last_ != nullptr && last_->done) {
-    last_ = nullptr;
+  op_node* tail = last_.load(std::memory_order_relaxed);
+  if (tail != nullptr && tail->done.load(std::memory_order_relaxed)) {
+    last_.store(nullptr, std::memory_order_release);
   }
 }
 
-event::event(platform& p) : plat_(&p) {
-  std::lock_guard lock(p.mutex());
-  p.register_event(this);
-}
+// Event registration goes through the platform's sharded registry, which
+// locks internally: the per-task event ctor/dtor on the multi-threaded
+// submission path contends only on its shard, never on the platform lock.
+event::event(platform& p) : plat_(&p) { p.register_event(this); }
 
 event::~event() {
   if (plat_ != nullptr) {
-    std::lock_guard lock(plat_->mutex());
     plat_->unregister_event(this);
   }
 }
 
 event::event(event&& other) noexcept
     : plat_(other.plat_),
-      node_(other.node_),
+      node_(other.node_.load(std::memory_order_relaxed)),
       recorded_(other.recorded_),
       t_end_(other.t_end_),
       stream_uid_(other.stream_uid_),
       seq_(other.seq_) {
-  std::lock_guard lock(plat_->mutex());
   plat_->unregister_event(&other);
   plat_->register_event(this);
   other.plat_ = nullptr;
-  other.node_ = nullptr;
+  other.node_.store(nullptr, std::memory_order_relaxed);
 }
 
 void event::record(stream& s) {
@@ -159,13 +162,13 @@ void event::record(stream& s) {
   stream_uid_ = s.uid();
   seq_ = s.next_record_seq();
   op_node* tail = s.last();
-  if (tail == nullptr || tail->done) {
+  if (tail == nullptr || tail->done.load(std::memory_order_relaxed)) {
     // Stream already idle: the event is complete as of "now".
-    node_ = nullptr;
+    node_.store(nullptr, std::memory_order_release);
     t_end_ = tail != nullptr ? tail->t_end : plat_->tl().now();
     return;
   }
-  node_ = tail;
+  node_.store(tail, std::memory_order_release);
 }
 
 void event::synchronize() {
@@ -173,23 +176,30 @@ void event::synchronize() {
   if (!recorded_) {
     throw std::logic_error("cudasim: synchronizing an unrecorded event");
   }
-  if (node_ != nullptr && !node_->done) {
-    plat_->tl().drain_until(node_);
+  op_node* n = node_.load(std::memory_order_relaxed);
+  if (n != nullptr && !n->done.load(std::memory_order_relaxed)) {
+    plat_->tl().drain_until(n);
   }
   drop_completed();
 }
 
 bool event::query() const {
+  // Lock-free: the only simulator read allowed without the platform lock.
+  // Both loads are acquire so a `true` result happens-after the completing
+  // store; a stale pointer to a since-recycled node reads as `false`
+  // (conservative), and nullptr means already collected (complete).
   if (!recorded_) {
     return false;
   }
-  return node_ == nullptr || node_->done;
+  op_node* n = node_.load(std::memory_order_acquire);
+  return n == nullptr || n->done.load(std::memory_order_acquire);
 }
 
 void event::drop_completed() {
-  if (node_ != nullptr && node_->done) {
-    t_end_ = node_->t_end;
-    node_ = nullptr;
+  op_node* n = node_.load(std::memory_order_relaxed);
+  if (n != nullptr && n->done.load(std::memory_order_relaxed)) {
+    t_end_ = n->t_end;
+    node_.store(nullptr, std::memory_order_release);
   }
 }
 

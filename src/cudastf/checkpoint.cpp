@@ -16,6 +16,12 @@
 // fully drains the simulator first, and the DES executes every accepted
 // operation deterministically (fail-stop refuses at submission, never
 // mid-flight).
+//
+// Threading contract (DESIGN.md §11): a context with checkpointing enabled
+// never takes the concurrent fast path (epoch boundaries are global), so
+// this engine always runs with the submission gate held exclusively.
+// Deterministic-order parallel_submit preserves the single-thread epoch
+// numbering, which is what makes replay-after-restart bit-identical.
 #include <cstring>
 #include <new>
 #include <stdexcept>

@@ -3,8 +3,13 @@
 // created with context::graph() lowers everything to CUDA graphs (§III).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <exception>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cudasim/cudasim.hpp"
 #include "cudastf/backend.hpp"
@@ -120,6 +125,104 @@ class context {
                                    std::move(deps)...);
   }
 
+  // --- parallel host-side submission (§VII-E, DESIGN.md §11) ---
+
+  /// Runs `fn(item)` for every item in [0, n_items) from `n_threads` host
+  /// threads (item i handled by thread i % n_threads), with the context in
+  /// multi-threaded submission mode: eligible ctx.task() submissions take a
+  /// sharded fast path (per-data stripe locks, striped backend streams)
+  /// instead of the context lock; everything structural still serializes
+  /// through the exclusive gate, so any STF call is safe from the workers.
+  ///
+  /// Under set_deterministic_order(true), workers hand off through a ticket
+  /// turnstile so submissions retire in exact item order — the resulting
+  /// schedule, replay log (§7) and checksum identities (§10) are
+  /// bit-identical to a single-threaded loop over the same items.
+  ///
+  /// The first worker exception stops the remaining items and is rethrown
+  /// after all workers have joined. Not reentrant: do not call
+  /// parallel_submit from inside a worker.
+  template <class Fn>
+  void parallel_submit(int n_threads, std::size_t n_items, Fn&& fn) {
+    if (n_threads <= 1 || n_items <= 1) {
+      for (std::size_t i = 0; i < n_items; ++i) {
+        fn(i);
+      }
+      return;
+    }
+    const bool det = st_->deterministic_order;
+    st_->backend->set_concurrent(true);
+    st_->mt_active.store(true, std::memory_order_release);
+    std::atomic<std::size_t> turn{0};
+    std::atomic<bool> stop{false};
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+    auto worker = [&](int tid) {
+      for (std::size_t i = static_cast<std::size_t>(tid); i < n_items;
+           i += static_cast<std::size_t>(n_threads)) {
+        if (det) {
+          // Ticket turnstile: wait for our item's turn, submit, pass the
+          // baton. Retirement order is then the item order by construction.
+          while (turn.load(std::memory_order_acquire) != i) {
+            if (stop.load(std::memory_order_relaxed)) {
+              return;
+            }
+            std::this_thread::yield();
+          }
+        }
+        if (stop.load(std::memory_order_relaxed)) {
+          if (det) {
+            turn.store(i + 1, std::memory_order_release);
+          }
+          return;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard el(err_mu);
+            if (!first_error) {
+              first_error = std::current_exception();
+            }
+          }
+          stop.store(true, std::memory_order_relaxed);
+          if (det) {
+            turn.store(i + 1, std::memory_order_release);
+          }
+          return;
+        }
+        if (det) {
+          turn.store(i + 1, std::memory_order_release);
+        }
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) {
+      workers.emplace_back(worker, t);
+    }
+    for (std::thread& th : workers) {
+      th.join();
+    }
+    st_->mt_active.store(false, std::memory_order_release);
+    st_->backend->set_concurrent(false);
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  /// Convenience overload: one item per thread, `fn(tid)`.
+  template <class Fn>
+  void parallel_submit(int n_threads, Fn&& fn) {
+    parallel_submit(n_threads, static_cast<std::size_t>(n_threads),
+                    [&fn](std::size_t i) { fn(static_cast<int>(i)); });
+  }
+
+  /// Canonicalizes multi-threaded submission order (see parallel_submit).
+  /// Set while quiescent — not from inside a worker.
+  void set_deterministic_order(bool on) { st_->deterministic_order = on; }
+  bool deterministic_order() const { return st_->deterministic_order; }
+
   // --- synchronization ---
 
   /// Non-blocking epoch boundary (§III-B): the graph backend closes and
@@ -127,6 +230,7 @@ class context {
   /// the memory engine's cached blocks back to the platform (DESIGN.md §9)
   /// so pool accounting is exact across epochs.
   void fence() {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->mem.trim_all(*st_);
     try {
@@ -154,6 +258,7 @@ class context {
   /// Retry policy for transiently-failed submissions (attempts, exponential
   /// virtual-time backoff).
   void set_retry_policy(const retry_policy& p) {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->retry = p;
   }
@@ -165,6 +270,7 @@ class context {
   /// evacuated to the host while device-to-host copies are still allowed,
   /// then future work is re-routed to the surviving devices.
   void blacklist_device(int device) {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->blacklist_device(device);
   }
@@ -178,6 +284,7 @@ class context {
   /// epoch-0 snapshot). Fully gated off when never called: disabled
   /// contexts pay a single null-pointer check per submission.
   void enable_checkpointing(checkpoint_options opts = {}) {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->ckpt = std::make_unique<checkpoint_manager>(*st_, opts);
     st_->sweep_registry();
@@ -191,6 +298,7 @@ class context {
   /// Drops the checkpoint manager (snapshots, submission log, restart
   /// budget). Outstanding snapshot copies are drained first.
   void disable_checkpointing() {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->ckpt.reset();
   }
@@ -199,6 +307,7 @@ class context {
   /// take_checkpoint). Returns false when checkpointing is disabled or the
   /// attempt was aborted by a refused snapshot copy.
   bool checkpoint() {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     return st_->ckpt != nullptr && st_->ckpt->take_checkpoint();
   }
@@ -215,6 +324,7 @@ class context {
   /// trust-on-first-use window. Never calling this leaves every hook at a
   /// single null-pointer check — the disarmed fast path is untouched.
   integrity_config& integrity_options() {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     if (st_->integ == nullptr) {
       st_->integ = std::make_unique<integrity_engine>();
@@ -233,6 +343,7 @@ class context {
   /// like a trust-boundary detection. Returns the number of replicas
   /// verified; 0 when the integrity engine is disarmed.
   std::size_t scrub() {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     return st_->integ == nullptr ? 0 : st_->integ->scrub(*st_);
   }
@@ -247,6 +358,7 @@ class context {
   /// otherwise hang the DES (the watchdog would catch it only at drain
   /// time).
   void order_after(std::string before, std::string after) {
+    detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->declare_order(std::move(before), std::move(after));
   }
@@ -276,9 +388,16 @@ class context {
 
   /// Redundant dependency events pruned on the submission fast path
   /// (duplicates, completed, same-stream dominated; see DESIGN.md).
-  std::uint64_t events_pruned() const { return st_->events_pruned; }
+  std::uint64_t events_pruned() const { return st_->events_pruned.load(); }
+
+  /// Submissions that took the sharded fast path during parallel_submit
+  /// (eligibility introspection; see DESIGN.md §11).
+  std::uint64_t fast_path_submits() const { return st_->fast_submits.load(); }
 
  private:
+  /// Whether the exclusive gate must engage (workers are live right now).
+  bool mt() const { return st_->mt_active.load(std::memory_order_acquire); }
+
   template <class E, int R>
   cudastf::logical_data<slice<E, R>> from_ptr(E* p,
                                               std::vector<std::size_t> ext,

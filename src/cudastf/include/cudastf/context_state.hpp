@@ -3,6 +3,8 @@
 // backend to talk to (§IV-D).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -18,6 +20,7 @@
 #include "cudastf/events.hpp"
 #include "cudastf/integrity.hpp"
 #include "cudastf/mem_engine.hpp"
+#include "cudastf/threading.hpp"
 #include "cudastf/transfer.hpp"
 
 namespace cudastf {
@@ -34,8 +37,44 @@ struct context_state {
   std::unique_ptr<backend_iface> backend;
 
   /// Serializes task submission; multiple CPU threads may inject tasks
-  /// concurrently (§VII-E).
+  /// concurrently (§VII-E). Slow-path submissions and structural operations
+  /// still take this lock; fast-path submissions under parallel_submit()
+  /// bypass it (see `gate` / `data_stripes` below and DESIGN.md §11).
   std::recursive_mutex mu;
+
+  // --- parallel submission (DESIGN.md §11) ---
+
+  /// True while parallel_submit() workers are live. Every structural entry
+  /// point checks this one relaxed flag; single-threaded contexts pay a
+  /// branch and nothing else.
+  std::atomic<bool> mt_active{false};
+
+  /// Reader-writer gate: fast-path submissions hold it shared (they touch
+  /// only their deps' stripes plus thread-safe backend/platform state);
+  /// everything structural — fence, finalize, registration, destruction,
+  /// allocation, recovery, checkpoint/integrity/order config, slow-path
+  /// submissions — holds it exclusive, so the pre-existing single-threaded
+  /// code bodies run unchanged under it. Engaged only while mt_active.
+  detail::submit_gate gate;
+
+  /// Deterministic-order mode (ctx.set_deterministic_order()): worker
+  /// threads in parallel_submit() hand off through a ticket turnstile so
+  /// submissions retire in item order — the replay log (DESIGN.md §7) and
+  /// checksum identities (§10) then match a single-threaded run exactly.
+  bool deterministic_order = false;
+
+  /// Striped per-logical-data locks protecting each impl's MSI state,
+  /// last-writer/readers chains and instance bookkeeping on the fast path,
+  /// so unrelated data never contend. Stripe index hashes the impl address;
+  /// a task locks all its deps' stripes in canonical order (stripe_lock).
+  static constexpr std::size_t data_stripe_count = 64;
+  std::array<std::mutex, data_stripe_count> data_stripes;
+
+  std::mutex& stripe_for(const void* impl) {
+    auto h = reinterpret_cast<std::uintptr_t>(impl) >> 6;
+    h ^= h >> 17;
+    return data_stripes[h % data_stripe_count];
+  }
 
   /// Every live logical data, for the eviction scan (weak: registration
   /// does not keep data alive).
@@ -49,13 +88,20 @@ struct context_state {
   /// paper scale without paying host-side numerics.
   bool compute_payloads = true;
 
-  /// LRU clock for eviction.
-  std::uint64_t use_counter = 0;
+  /// LRU clock for eviction. Atomic (relaxed) because fast-path acquires
+  /// stamp instance recency while holding only their data stripes.
+  std::atomic<std::uint64_t> use_counter{0};
 
   /// Fast-path counter: redundant events (duplicates, completed, dominated
   /// by a later same-stream event) pruned while building dependency lists
-  /// on the acquire/release path (§IV).
-  std::uint64_t events_pruned = 0;
+  /// on the acquire/release path (§IV). Per-thread cells: incremented under
+  /// different data stripes concurrently.
+  detail::relaxed_counter events_pruned;
+
+  /// Submissions that completed on the sharded multi-threaded fast path
+  /// (ctx.fast_path_submits()); tests assert eligibility didn't silently
+  /// degrade to the serialized exclusive path.
+  detail::relaxed_counter fast_submits;
 
   /// Estimated accumulated work per device (seconds), maintained by the
   /// HEFT-style automatic placement policy (§IX extension).

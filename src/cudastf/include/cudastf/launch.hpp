@@ -35,6 +35,10 @@ class [[nodiscard]] launch_builder {
 
   template <class Fn>
   void operator->*(Fn&& fn) && {
+    // Structured constructs span grids / composite places: structural, so
+    // MT submission takes the exclusive gate (DESIGN.md §11).
+    detail::gate_exclusive xg(st_->gate,
+                              st_->mt_active.load(std::memory_order_acquire));
     std::lock_guard lock(st_->mu);
     if (st_->ckpt != nullptr) [[unlikely]] {
       record_replay(fn);  // before gridify mutates the requested places

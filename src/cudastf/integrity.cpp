@@ -1,6 +1,12 @@
 // Integrity engine (DESIGN.md §10): reference checksums at write-release,
 // verification at trust boundaries, replica repair, dual-execution voting
 // and the background scrubber. See integrity.hpp for the model.
+//
+// Threading contract (DESIGN.md §11): checksum bookkeeping spans multiple
+// logical data and the platform, so tasks on contexts with an integrity
+// engine never take the concurrent fast path — everything here runs with
+// the submission gate held exclusively, keeping checksum identity (and
+// thus deterministic-mode digests) independent of submitting thread count.
 #include "cudastf/integrity.hpp"
 
 #include <cstring>
