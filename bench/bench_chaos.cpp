@@ -1,4 +1,4 @@
-// Chaos benchmark (DESIGN.md §7, §10) — two sweeps:
+// Chaos benchmark (DESIGN.md §7, §10, §12) — three sweeps:
 //
 // 1. Loud faults: completed-work ratio and time-to-solution under seeded
 //    random fault injection, comparing the two ends of the escalation
@@ -14,6 +14,14 @@
 //    against the armed integrity engine (checksums + repair + voting +
 //    checkpoint restore; the acceptance bar is zero undetected
 //    corruptions). Same seed per rate in both modes here too.
+//
+// 3. Hangs: seeded stalls (transient and permanent) swept over a stall
+//    rate, comparing an unarmed context (a permanent hang wedges the run;
+//    the drain watchdog turns it into a diagnostic throw) against armed
+//    hang recovery (virtual-time deadlines -> cancel -> retry / quarantine
+//    / epoch restart, DESIGN.md §12). The acceptance bar: the armed run
+//    completes or cleanly reports every chain at every stall rate while
+//    never wedging. Same seed per rate in both modes.
 //
 // `--json` emits the rows of both sweeps as one JSON array (baseline:
 // BENCH_chaos.json at the repo root).
@@ -203,6 +211,96 @@ corruption_row run_corruption(int flip_rate, bool protect,
   return r;
 }
 
+// --- hang sweep (DESIGN.md §12) ---
+
+struct hang_row {
+  int stall_rate;  // injected stalls per 100 tasks (every 3rd permanent)
+  const char* mode;
+  bool wedged;                // finalize threw: the run hung unrecoverably
+  std::uint64_t chains_ok;    // chains byte-identical to fault-free
+  std::uint64_t chains_reported;  // chains poisoned with a cause chain
+  double time_s;
+  cudastf::backend_stats stats;
+  cudastf::error_report report;
+};
+
+hang_row run_hangs(int stall_rate, bool armed,
+                   const std::vector<std::vector<double>>& ref) {
+  auto desc = cudasim::test_desc();
+  desc.mem_capacity = 512u << 20;
+  cudasim::scoped_platform sp(kDevices, desc);
+  cudasim::platform& p = sp.get();
+  if (stall_rate > 0) {
+    // Same seed in both modes at a given rate: identical stall schedules
+    // (a mix of 30-virtual-second transients and permanent hangs).
+    p.ensure_fault_injector().schedule_random_stalls(
+        /*seed=*/3000ull * static_cast<std::uint64_t>(stall_rate) + 11,
+        /*n_stalls=*/stall_rate * kTasks / 100,
+        /*op_span=*/kTasks, kDevices, /*transient_seconds=*/30.0);
+  }
+
+  cudastf::context ctx(p);
+  ctx.set_retry_policy({.max_attempts = 1});
+  if (armed) {
+    ctx.set_default_deadline(5.0);
+    ctx.enable_checkpointing({.every_n_tasks = 16, .max_restarts = 64});
+  }
+
+  std::vector<std::vector<double>> chains(
+      kChains, std::vector<double>(kN, 1.0));
+  hang_row r{};
+  {
+    std::vector<cudastf::logical_data<cudastf::slice<double>>> ld;
+    ld.reserve(kChains);
+    for (int c = 0; c < kChains; ++c) {
+      char name[16];
+      std::snprintf(name, sizeof name, "chain%d", c);
+      ld.push_back(ctx.logical_data(chains[c].data(), kN, name));
+    }
+    for (int t = 0; t < kTasks; ++t) {
+      auto& l = ld[t % kChains];
+      ctx.task(cudastf::exec_place::device(t % kDevices), l.rw())
+              .set_symbol("step")
+              ->*[&p](cudasim::stream& s, cudastf::slice<double> y) {
+                    p.launch_kernel(s, {.name = "step"}, [=] {
+                      for (std::size_t i = 0; i < y.size(); ++i) {
+                        y(i) = y(i) * 0.5 + 1.0;
+                      }
+                    });
+                  };
+    }
+    try {
+      r.report = ctx.finalize();
+    } catch (const std::exception&) {
+      // The unarmed baseline on a permanent stall: the drain watchdog
+      // reports the stuck chain instead of blocking forever, but the
+      // epoch's results never reach the host.
+      r.wedged = true;
+    }
+  }
+  r.stall_rate = stall_rate;
+  r.mode = armed ? "armed" : "unarmed";
+  r.time_s = p.now();
+  r.stats = ctx.stats();
+  std::unordered_set<std::string> poisoned_names;
+  for (const auto& f : r.report.failures) {
+    for (const auto& name : f.poisoned) {
+      poisoned_names.insert(name);
+    }
+  }
+  for (int c = 0; c < kChains; ++c) {
+    char name[16];
+    std::snprintf(name, sizeof name, "chain%d", c);
+    const bool ok =
+        std::memcmp(chains[static_cast<std::size_t>(c)].data(),
+                    ref[static_cast<std::size_t>(c)].data(),
+                    kN * sizeof(double)) == 0;
+    r.chains_ok += ok ? 1 : 0;
+    r.chains_reported += (!ok && poisoned_names.count(name) != 0) ? 1 : 0;
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +396,52 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- hang sweep ---
+  if (!json) {
+    std::printf(
+        "\nHangs: seeded stalls (30s transients + permanents), unarmed vs\n"
+        "deadline-armed recovery\n\n");
+    std::printf("%-7s %-9s %-7s %-9s %-9s %-6s %-7s %-7s %-7s %-10s\n",
+                "stalls", "mode", "wedged", "chainsOK", "reported", "hangs",
+                "cancel", "retry", "quarnt", "time(ms)");
+  }
+  for (int rate : {0, 2, 5, 10}) {
+    for (bool armed : {false, true}) {
+      const hang_row r = run_hangs(rate, armed, ref);
+      if (json) {
+        std::printf(
+            ",\n  {\"stall_rate\": %d, \"mode\": \"%s\", \"chains\": %d, "
+            "\"wedged\": %s, \"chains_ok\": %llu, \"chains_reported\": %llu, "
+            "\"deadlines_armed\": %llu, \"hangs_detected\": %llu, "
+            "\"ops_cancelled\": %llu, \"tasks_retried\": %llu, "
+            "\"quarantines\": %llu, \"rollbacks\": %llu, "
+            "\"failures\": %llu, \"time_s\": %.6f}",
+            r.stall_rate, r.mode, kChains, r.wedged ? "true" : "false",
+            static_cast<unsigned long long>(r.chains_ok),
+            static_cast<unsigned long long>(r.chains_reported),
+            static_cast<unsigned long long>(r.stats.deadlines_armed),
+            static_cast<unsigned long long>(r.stats.hangs_detected),
+            static_cast<unsigned long long>(r.stats.ops_cancelled),
+            static_cast<unsigned long long>(r.report.tasks_retried),
+            static_cast<unsigned long long>(r.stats.quarantines),
+            static_cast<unsigned long long>(r.stats.rollbacks),
+            static_cast<unsigned long long>(r.report.failures_total),
+            r.time_s);
+      } else {
+        std::printf(
+            "%-7d %-9s %-7s %-9llu %-9llu %-6llu %-7llu %-7llu %-7llu "
+            "%-10.3f\n",
+            r.stall_rate, r.mode, r.wedged ? "yes" : "no",
+            static_cast<unsigned long long>(r.chains_ok),
+            static_cast<unsigned long long>(r.chains_reported),
+            static_cast<unsigned long long>(r.stats.hangs_detected),
+            static_cast<unsigned long long>(r.stats.ops_cancelled),
+            static_cast<unsigned long long>(r.report.tasks_retried),
+            static_cast<unsigned long long>(r.stats.quarantines),
+            r.time_s * 1e3);
+      }
+    }
+  }
   if (json) {
     std::printf("\n]\n");
   } else {
@@ -308,7 +452,10 @@ int main(int argc, char** argv) {
         "the survivors, paying a bounded time-to-solution overhead.\n"
         "Unprotected runs accumulate undetected divergence as the flip\n"
         "rate rises; the armed integrity engine holds undetected at zero —\n"
-        "every flip is repaired, voted out or reported.\n");
+        "every flip is repaired, voted out or reported.\n"
+        "Unarmed runs wedge as soon as a permanent stall lands; armed\n"
+        "recovery never wedges and completes (or cleanly reports) every\n"
+        "chain at every stall rate.\n");
   }
   return 0;
 }

@@ -48,7 +48,11 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$repo" -B "$build"
 cmake --build "$build" -j "$jobs"
-ctest --test-dir "$build" --output-on-failure -j "$jobs"
+# Wall-clock timeout: the suite exercises hang injection and recovery; if a
+# regression ever wedges a real (non-virtual) wait, the run fails loudly
+# instead of hanging CI. Normal runs finish in seconds.
+timeout --signal=KILL "${TIER1_CTEST_TIMEOUT:-600}" \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs"
 "$build/bench/bench_table1_task_overhead" --json
 "$build/bench/bench_fig3_oom_cholesky" --json
 
@@ -104,6 +108,12 @@ if [[ "$chaos" == 1 ]]; then
     "$build/tests/test_integrity" \
       --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
       --gtest_brief=1
+    # Stall soak: the deadline suite carries its own seeded hang schedules
+    # (permanent and transient stalls, backpressure, cancellation); shuffled
+    # ordering varies pool recycling across rounds.
+    "$build/tests/test_deadline" \
+      --gtest_shuffle --gtest_random_seed="$((seed % 30000))" \
+      --gtest_brief=1
     seed=$((seed + 1))
     rounds=$((rounds + 1))
   done
@@ -115,7 +125,7 @@ if [[ "$sanitize" == 1 ]]; then
   cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
   cmake --build "$asan_build" -j "$jobs" \
     --target test_fault_injection test_eviction test_checkpoint \
-             test_mem_engine test_integrity
+             test_mem_engine test_integrity test_deadline
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_fault_injection"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
@@ -126,14 +136,22 @@ if [[ "$sanitize" == 1 ]]; then
     "$asan_build/tests/test_mem_engine"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_integrity"
+  # Cancellation must not leak or double-release pinned instances
+  # (DESIGN.md §12): the deadline suite's eviction-after-cancel test is the
+  # regression gate.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_deadline"
 fi
 
 if [[ "$tsan" == 1 ]]; then
   tsan_build="$repo/build-tsan"
   cmake -S "$repo" -B "$tsan_build" -DREPRO_TSAN=ON
   cmake --build "$tsan_build" -j "$jobs" \
-    --target test_parallel_submit test_fastpath test_fault_injection
+    --target test_parallel_submit test_fastpath test_fault_injection \
+             test_deadline
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_parallel_submit"
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fastpath"
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fault_injection"
+  # Parallel submission racing backpressure, cancellation and restart.
+  TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_deadline"
 fi

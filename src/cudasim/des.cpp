@@ -60,6 +60,11 @@ op_node* timeline::make_node(std::string_view name, int device, engine* eng,
   node->duration = duration;
   node->body = std::move(body);
   node->real_work = eng != nullptr;
+  // Hang-recovery state must reset on recycle like everything else.
+  node->stalled = false;
+  node->stall_permanent = false;
+  node->cancelled = false;
+  node->t_submit = 0.0;
   return node;
 }
 
@@ -76,6 +81,7 @@ void timeline::add_dep(op_node* pred, op_node* succ) {
 void timeline::submit(op_node* node) {
   assert(!node->submitted);
   node->submitted = true;
+  node->t_submit = now_;
   ++live_;
   if (node->unmet == 0) {
     on_ready(node, now_);
@@ -122,6 +128,14 @@ void timeline::start_on_engine(engine* eng, timepoint t) {
   eng->ready_fifo_.pop_front();
   eng->running_ = node;
   node->t_start = std::max(t, eng->busy_until_);
+  if (node->stall_permanent) {
+    // Injected permanent hang: the op wedges its engine forever and no
+    // completion event is scheduled. A plain drain() exits through the
+    // live-operations watchdog below; recovery must cancel() the node.
+    node->t_end = std::numeric_limits<timepoint>::infinity();
+    eng->busy_until_ = node->t_end;
+    return;
+  }
   node->t_end = node->t_start + node->duration;
   eng->busy_until_ = node->t_end;
   events_.push({node->t_end, next_seq_++, node});
@@ -158,13 +172,16 @@ void timeline::drain() {
   while (!events_.empty()) {
     pending_event ev = events_.top();
     events_.pop();
+    if (ev.node->done.load(std::memory_order_relaxed)) {
+      continue;  // stale event of a cancelled node
+    }
     complete(ev.node);
   }
   if (live_ != 0) {
     throw std::logic_error(
         "cudasim: drain() left live operations behind — a submitted op "
         "depends on a node that was never submitted (dependency cycle or "
-        "forgotten submit)" +
+        "forgotten submit), or an operation is permanently stalled" +
         stuck_report());
   }
 }
@@ -173,61 +190,79 @@ std::string timeline::stuck_report() const {
   // Walk the slabs directly: every live node sits in a slab, fresh slab
   // nodes default-initialize submitted=false, and recycled pool nodes keep
   // done=true, so "submitted && !done" identifies exactly the stuck set.
+  // Sorted oldest-first by submission time so the report leads with the
+  // actual wedged predecessor, not whatever slab order happened to yield —
+  // the deadline poison's cause chain quotes these lines verbatim.
   static constexpr std::size_t max_lines = 8;
-  std::string out;
-  std::size_t shown = 0;
-  std::size_t total = 0;
+  std::vector<const op_node*> stuck;
   for (std::size_t si = 0; si < slabs_.size(); ++si) {
     const std::size_t count =
         si + 1 == slabs_.size() ? slab_used_ : slab_nodes;
     for (std::size_t ni = 0; ni < count; ++ni) {
       const op_node& n = slabs_[si][ni];
-      if (!n.submitted || n.done.load(std::memory_order_relaxed)) {
-        continue;
+      if (n.submitted && !n.done.load(std::memory_order_relaxed)) {
+        stuck.push_back(&n);
       }
-      ++total;
-      if (shown == max_lines) {
-        continue;
-      }
-      ++shown;
-      out += "\n  #";
-      out += std::to_string(n.id);
-      out += " '";
-      out += n.name;
-      out += "'";
-      if (n.device >= 0) {
-        out += " device ";
-        out += std::to_string(n.device);
-      }
-      switch (n.eng != nullptr ? n.eng->kind() : engine_kind::none) {
-        case engine_kind::compute:
-          out += " [compute]";
-          break;
-        case engine_kind::copy_in:
-          out += " [copy_in]";
-          break;
-        case engine_kind::copy_out:
-          out += " [copy_out]";
-          break;
-        case engine_kind::host:
-          out += " [host]";
-          break;
-        case engine_kind::none:
-          break;
-      }
-      out += n.unmet > 0 ? " waiting on " + std::to_string(n.unmet) +
-                               " unfinished predecessor(s)"
-                         : " ready but never scheduled";
     }
   }
-  if (out.empty()) {
-    return out;
+  if (stuck.empty()) {
+    return {};
   }
-  std::string head = "\nstuck operations (" + std::to_string(total) + "):";
-  if (total > shown) {
-    out += "\n  ... and " + std::to_string(total - shown) + " more";
+  std::sort(stuck.begin(), stuck.end(),
+            [](const op_node* a, const op_node* b) {
+              return a->t_submit != b->t_submit ? a->t_submit < b->t_submit
+                                                : a->id < b->id;
+            });
+  std::string out =
+      "\nstuck operations (" + std::to_string(stuck.size()) +
+      ", oldest first):";
+  const std::size_t shown = std::min(stuck.size(), max_lines);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const op_node& n = *stuck[i];
+    out += "\n  #";
+    out += std::to_string(n.id);
+    out += " '";
+    out += n.name;
+    out += "'";
+    if (n.device >= 0) {
+      out += " device ";
+      out += std::to_string(n.device);
+    }
+    switch (n.eng != nullptr ? n.eng->kind() : engine_kind::none) {
+      case engine_kind::compute:
+        out += " [compute]";
+        break;
+      case engine_kind::copy_in:
+        out += " [copy_in]";
+        break;
+      case engine_kind::copy_out:
+        out += " [copy_out]";
+        break;
+      case engine_kind::host:
+        out += " [host]";
+        break;
+      case engine_kind::none:
+        break;
+    }
+    out += " age " + std::to_string(now_ - n.t_submit) + "s";
+    if (n.stall_permanent) {
+      out += " [stalled: permanent]";
+    } else if (n.stalled) {
+      out += " [stalled: transient]";
+    }
+    if (n.unmet > 0) {
+      out += " waiting on " + std::to_string(n.unmet) +
+             " unfinished predecessor(s)";
+    } else if (n.eng != nullptr && n.eng->running_ == &n) {
+      out += " occupying its engine";
+    } else {
+      out += " ready but never scheduled";
+    }
   }
-  return head + out;
+  if (stuck.size() > shown) {
+    out += "\n  ... and " + std::to_string(stuck.size() - shown) + " more";
+  }
+  return out;
 }
 
 void timeline::gc() {
@@ -257,13 +292,71 @@ void timeline::drain_until(const op_node* node) {
     if (events_.empty()) {
       throw std::logic_error(
           "cudasim: waiting on an operation that can never complete "
-          "(missing submit or dependency cycle)" +
+          "(missing submit, dependency cycle, or a permanently stalled "
+          "predecessor)" +
           stuck_report());
     }
     pending_event ev = events_.top();
     events_.pop();
+    if (ev.node->done.load(std::memory_order_relaxed)) {
+      continue;  // stale event of a cancelled node
+    }
     complete(ev.node);
   }
+}
+
+std::size_t timeline::drain_until_time(timepoint t) {
+  std::size_t completed = 0;
+  while (!events_.empty() && events_.top().time <= t) {
+    pending_event ev = events_.top();
+    events_.pop();
+    if (ev.node->done.load(std::memory_order_relaxed)) {
+      continue;  // stale event of a cancelled node
+    }
+    complete(ev.node);
+    ++completed;
+  }
+  return completed;
+}
+
+bool timeline::drain_one() {
+  while (!events_.empty()) {
+    pending_event ev = events_.top();
+    events_.pop();
+    if (ev.node->done.load(std::memory_order_relaxed)) {
+      continue;  // stale event of a cancelled node
+    }
+    complete(ev.node);
+    return true;
+  }
+  return false;
+}
+
+bool timeline::cancel(op_node* node) {
+  if (node == nullptr || !node->submitted ||
+      node->done.load(std::memory_order_relaxed) || node->unmet != 0) {
+    return false;
+  }
+  node->body.reset();  // the payload must not run
+  node->cancelled = true;
+  engine* eng = node->eng;
+  if (eng != nullptr && eng->running_ == node) {
+    // Fix busy_until_ BEFORE complete(): complete() restarts the engine via
+    // start_on_engine(), which reads busy_until_ to place the next op.
+    node->t_end = std::max(now_, node->t_start);
+    eng->busy_until_ = node->t_end;
+  } else if (eng != nullptr) {
+    auto& fifo = eng->ready_fifo_;
+    const auto it = std::find(fifo.begin(), fifo.end(), node);
+    if (it != fifo.end()) {
+      fifo.erase(it);
+    }
+    node->t_end = std::max(now_, node->t_ready);
+  } else {
+    node->t_end = std::max(now_, node->t_ready);
+  }
+  complete(node);
+  return true;
 }
 
 }  // namespace cudasim

@@ -34,6 +34,8 @@ const char* fault_kind_name(fault_kind k) {
       return "device_fail";
     case fault_kind::bit_flip:
       return "bit_flip";
+    case fault_kind::stall:
+      return "stall";
   }
   return "unknown";
 }
@@ -111,6 +113,23 @@ void fault_injector::schedule_random_flips(std::uint64_t seed, int n_flips,
   }
 }
 
+void fault_injector::schedule_random_stalls(std::uint64_t seed, int n_stalls,
+                                            std::uint64_t op_span,
+                                            int num_devices,
+                                            double transient_seconds) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> op_dist(1, op_span);
+  std::uniform_int_distribution<int> dev_dist(0, num_devices - 1);
+  for (int i = 0; i < n_stalls; ++i) {
+    fault_event ev;
+    ev.kind = fault_kind::stall;
+    ev.device = dev_dist(rng);
+    ev.at_op = op_dist(rng);
+    ev.stall_seconds = i % 3 == 2 ? -1.0 : transient_seconds;
+    pending_.push_back(ev);
+  }
+}
+
 sim_status fault_injector::on_op(op_category cat, int device, double now,
                                  platform& p) {
   ++op_index_;
@@ -173,6 +192,30 @@ sim_status fault_injector::on_op(op_category cat, int device, double now,
       break;
     }
   }
+  // Pass 2b: at most one stall arms per submission. Like flips, stalls
+  // never refuse the op — the platform marks the op node it is about to
+  // create via take_stall and the submission proceeds, then silently hangs.
+  // Stalls only ride engine-occupying submissions (kernels and copies).
+  if (!stall_armed_ &&
+      (cat == op_category::kernel || cat == op_category::copy)) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const fault_event& ev = pending_[i];
+      if (ev.kind != fault_kind::stall || ev.at_time >= 0.0 ||
+          op_index_ < ev.at_op) {
+        continue;
+      }
+      if (ev.device >= 0 && ev.device != device) {
+        continue;
+      }
+      log_.push_back({fault_kind::stall, device, op_index_, now});
+      armed_stall_ = {ev.stall_seconds < 0.0,
+                      ev.stall_seconds < 0.0 ? 0.0 : ev.stall_seconds,
+                      device};
+      stall_armed_ = true;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
   // Pass 3: at most one transient fault fires per submission, the earliest
   // scheduled matching one (stable order keeps replays deterministic).
   for (std::size_t i = 0; i < pending_.size(); ++i) {
@@ -204,6 +247,8 @@ sim_status fault_injector::on_op(op_category cat, int device, double now,
         break;  // handled in pass 1
       case fault_kind::bit_flip:
         break;  // handled in pass 2
+      case fault_kind::stall:
+        break;  // handled in pass 2b
     }
     if (st != sim_status::success) {
       log_.push_back({ev.kind, device, op_index_, now});
@@ -220,6 +265,16 @@ bool fault_injector::take_flip(flip_request* out) {
   }
   *out = armed_flip_;
   armed_flip_ = {};
+  return true;
+}
+
+bool fault_injector::take_stall(stall_request* out) {
+  if (!stall_armed_) {
+    return false;
+  }
+  *out = armed_stall_;
+  armed_stall_ = {};
+  stall_armed_ = false;
   return true;
 }
 

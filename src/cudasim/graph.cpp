@@ -209,6 +209,12 @@ void graph_exec::launch(stream& s) {
         const double dur = d.graph_node_latency + kernel_cost_seconds(d, n.kdesc);
         op = tl.make_node(n.kdesc.name, dev, &plat_->device(dev).compute(), dur,
                           n.body);
+        // A stall armed by the launch poll (or left pending from capture
+        // time) lands on the first kernel node lowered.
+        stall_request sr;
+        if (plat_->take_pending_stall(&sr)) {
+          plat_->apply_stall_locked(op, sr);
+        }
         break;
       }
       case graph_node_kind::memcpy: {

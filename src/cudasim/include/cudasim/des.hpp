@@ -228,6 +228,18 @@ struct op_node {
   /// stream tail moved because work was enqueued" apart from "only a marker
   /// was appended" when classifying partial submissions.
   bool real_work = false;
+  /// Hang-injection markers (fault_kind::stall). A transient stall enlarges
+  /// `duration` by the injected delay and sets `stalled`; a permanent stall
+  /// sets `stall_permanent`, making start_on_engine() wedge the engine
+  /// forever instead of scheduling a completion event — only cancel() (or
+  /// process exit) releases it.
+  bool stalled = false;
+  bool stall_permanent = false;
+  /// Set by cancel(): the node was completed administratively, its body
+  /// discarded. Successors still fire (the DAG stays drainable); callers
+  /// that care about data validity must handle that themselves.
+  bool cancelled = false;
+  timepoint t_submit = 0.0;  ///< when submit() accepted the node
   timepoint t_ready = 0.0;
   timepoint t_start = 0.0;
   timepoint t_end = 0.0;
@@ -284,6 +296,32 @@ class timeline {
 
   /// Runs the simulation until the given node has completed.
   void drain_until(const op_node* node);
+
+  /// Bounded drain for deadline-aware waiting: processes every pending event
+  /// with completion time <= t, in order. Returns the number of operations
+  /// completed. Never blocks on a wedged engine — a permanently stalled op
+  /// has no pending event, so the caller regains control at the horizon.
+  std::size_t drain_until_time(timepoint t);
+
+  /// Completes the single earliest pending operation. Returns false when no
+  /// completion event is pending (idle, or every live op is wedged).
+  bool drain_one();
+
+  /// Advances the virtual clock to at least t without completing anything:
+  /// deadline detection itself costs virtual time, so waiting out a deadline
+  /// window is observable in now().
+  void advance_now(timepoint t) { now_ = std::max(now_, t); }
+
+  /// Cooperative cancellation (hang recovery): administratively completes a
+  /// submitted, not-yet-done node whose dependencies are all met — tearing
+  /// it out of its engine (fixing busy_until_ so the engine un-wedges) or
+  /// out of the ready FIFO, discarding its body, and firing its completion
+  /// at max(now, start/ready time) so successors and recorded events
+  /// resolve. Returns false for nodes that cannot be cancelled (null, not
+  /// submitted, already done, or still waiting on predecessors — cancelling
+  /// those would corrupt unmet accounting). Any completion event already
+  /// scheduled for the node becomes stale; the drain loops skip done nodes.
+  bool cancel(op_node* node);
 
   /// Progress-watchdog diagnostic: lists every submitted-but-incomplete
   /// operation (name, device, engine, unmet-dependency count) so a stuck

@@ -204,6 +204,38 @@ class platform {
   /// engine occupancy). Used for exponential-backoff task retries.
   void stream_delay(stream& s, double seconds);
 
+  // --- hang injection / recovery (fault_kind::stall, DESIGN.md §12) ---
+
+  /// What cancel_stalled_op() tore out of the DES (found == false when no
+  /// cancellable stalled op existed). `name` points at the timeline's
+  /// interned string; `node` stays valid until the next collect_handles().
+  struct stall_info {
+    bool found = false;
+    std::uint64_t id = 0;
+    const char* name = "";
+    int device = -1;
+    const op_node* node = nullptr;
+  };
+
+  /// Cooperatively cancels one injected-stall victim: `prefer` (when it is
+  /// itself a stalled op) else the oldest cancellable stalled op. The
+  /// cancelled op's body is discarded, its engine un-wedged and its
+  /// successors released (see timeline::cancel). Recovery layers decide
+  /// what the administrative completion means for data validity.
+  stall_info cancel_stalled_op(const op_node* prefer = nullptr);
+
+  /// Bounded drain: completes every pending op with finish time <= t_limit.
+  /// Returns how many completed. Never blocks on a wedged engine.
+  std::size_t drain_window(timepoint t_limit);
+  /// Completes the single earliest pending op; false when nothing pending.
+  bool drain_one();
+  /// Advances the virtual clock to at least t (deadline waits cost time).
+  void advance_clock(timepoint t);
+  /// Submitted-but-incomplete op count (deadline monitor's wedge check).
+  std::uint64_t live_ops() const;
+  /// Diagnostic passthrough to timeline::stuck_report() under the lock.
+  std::string stuck_report() const;
+
   /// Declares the byte ranges the next kernel submissions will write, so an
   /// armed kernel_output bit flip corrupts genuine task output. Cleared with
   /// clear_output_hints(); without hints the flip falls back to a live
@@ -264,6 +296,18 @@ class platform {
   /// by the stream submission paths and graph_exec::launch.
   sim_status poll_faults_locked(op_category cat, int device);
 
+  /// Hands over (and clears) the armed stall. Unlike flips, a pending stall
+  /// is sticky across polls: one armed during stream capture (where no DES
+  /// node exists yet) rides forward and lands on the next engine op created
+  /// — e.g. the first kernel node lowered by graph_exec::launch. Shared
+  /// with graph_exec; mu_ held.
+  bool take_pending_stall(stall_request* out);
+
+  /// Marks the (not yet submitted) node as the stall victim: a transient
+  /// stall enlarges its duration, a permanent one wedges its engine until
+  /// cancelled. Tracked in stalled_ops_ for cancel_stalled_op(). mu_ held.
+  void apply_stall_locked(op_node* n, const stall_request& sr);
+
  private:
   /// Bounds simulator memory: once too many live ops accumulate, drain the
   /// timeline (virtual timestamps are unaffected — everything submitted is
@@ -307,6 +351,12 @@ class platform {
   std::atomic<bool> faults_armed_{false};
   bool any_device_failed_ = false;
   flip_request pending_flip_;
+  stall_request pending_stall_;
+  bool stall_pending_ = false;
+  /// Live stall victims, in arming (= oldest-first) order. Pruned of done
+  /// nodes in collect_handles() — before gc() can recycle them — and
+  /// lazily in cancel_stalled_op().
+  std::vector<op_node*> stalled_ops_;
   std::vector<byte_span> output_hints_;
 };
 

@@ -167,6 +167,10 @@ void platform::launch_kernel(stream& s, const kernel_desc& k,
   const double dur = latency + kernel_cost_seconds(dev.desc(), k);
   op_node* n = tl_.make_node(k.name, s.device(), &dev.compute(), dur,
                              std::move(body));
+  stall_request sr;
+  if (take_pending_stall(&sr)) {
+    apply_stall_locked(n, sr);
+  }
   try {
     timeline::add_dep(s.last(), n);
   } catch (...) {
@@ -273,6 +277,10 @@ void platform::memcpy_async(void* dst, const void* src, std::size_t n,
   }
   op_node* node =
       tl_.make_node("memcpy", s.device(), plan.eng, plan.seconds, std::move(body));
+  stall_request sr;
+  if (take_pending_stall(&sr)) {
+    apply_stall_locked(node, sr);
+  }
   try {
     timeline::add_dep(s.last(), node);
   } catch (...) {
@@ -364,6 +372,10 @@ void platform::memcpy_peer_async(void* dst, int dst_device, const void* src,
                               seconds);
   op_node* join = tl_.make_node("memcpyPeer", src_device, nullptr, 0.0);
   join->real_work = true;  // accepted work, not a mere marker
+  stall_request sr;
+  if (take_pending_stall(&sr)) {
+    apply_stall_locked(out, sr);  // the source half carries the hang
+  }
   try {
     timeline::add_dep(s.last(), out);
     timeline::add_dep(s.last(), in);
@@ -571,7 +583,95 @@ sim_status platform::poll_faults_locked(op_category cat, int device) {
       pending_flip_ = fr;
     }
   }
+  // Stalls stay pending until an engine op absorbs them (sticky across
+  // polls, unlike flips): a stall armed during stream capture has no DES
+  // node to land on and rides forward to the eventual graph launch.
+  stall_request sr;
+  if (injector_->take_stall(&sr)) {
+    pending_stall_ = sr;
+    stall_pending_ = true;
+  }
   return st;
+}
+
+bool platform::take_pending_stall(stall_request* out) {
+  if (!stall_pending_) {
+    return false;
+  }
+  *out = pending_stall_;
+  pending_stall_ = {};
+  stall_pending_ = false;
+  return true;
+}
+
+void platform::apply_stall_locked(op_node* n, const stall_request& sr) {
+  if (n == nullptr) {
+    return;
+  }
+  if (sr.permanent) {
+    n->stall_permanent = true;
+  } else {
+    n->stalled = true;
+    n->duration += sr.seconds;
+  }
+  stalled_ops_.push_back(n);
+}
+
+platform::stall_info platform::cancel_stalled_op(const op_node* prefer) {
+  std::lock_guard lock(mu_);
+  std::erase_if(stalled_ops_, [](op_node* n) {
+    return n->done.load(std::memory_order_relaxed);
+  });
+  stall_info info;
+  const auto try_cancel = [&](op_node* n) {
+    if (!tl_.cancel(n)) {
+      return false;  // e.g. still waiting on predecessors
+    }
+    info.found = true;
+    info.id = n->id;
+    info.name = n->name;
+    info.device = n->device;
+    info.node = n;
+    return true;
+  };
+  if (prefer != nullptr) {
+    for (op_node* n : stalled_ops_) {
+      if (n == prefer && try_cancel(n)) {
+        return info;
+      }
+    }
+  }
+  for (op_node* n : stalled_ops_) {
+    if (try_cancel(n)) {
+      return info;
+    }
+  }
+  return info;
+}
+
+std::size_t platform::drain_window(timepoint t_limit) {
+  std::lock_guard lock(mu_);
+  return tl_.drain_until_time(t_limit);
+}
+
+bool platform::drain_one() {
+  std::lock_guard lock(mu_);
+  return tl_.drain_one();
+}
+
+void platform::advance_clock(timepoint t) {
+  std::lock_guard lock(mu_);
+  tl_.advance_now(t);
+}
+
+std::uint64_t platform::live_ops() const {
+  std::lock_guard lock(mu_);
+  return tl_.live_count();
+}
+
+std::string platform::stuck_report() const {
+  std::lock_guard lock(mu_);
+  return tl_.stuck_report();
 }
 
 void platform::apply_resident_flip_locked(const flip_request& fr) {
@@ -697,6 +797,12 @@ void platform::collect_handles() {
       e->drop_completed();
     }
   }
+  // Stalled-op tracking must drop done nodes before gc() can recycle them:
+  // a recycled node's pointer would alias an unrelated live op and
+  // cancel_stalled_op() could cancel an innocent victim.
+  std::erase_if(stalled_ops_, [](op_node* n) {
+    return n->done.load(std::memory_order_relaxed);
+  });
   // Everything retired up to this point has had its handles dropped and is
   // now safe for timeline::gc() to recycle.
   tl_.mark_collected();

@@ -93,8 +93,8 @@ void checkpoint_manager::on_register(const std::shared_ptr<logical_data_impl>& d
 void checkpoint_manager::record(
     std::function<void()> replay,
     std::vector<std::weak_ptr<logical_data_impl>> touched) {
-  if (replaying_) {
-    return;  // replayed tasks are already in the log
+  if (replaying_ || suppressed_) {
+    return;  // replayed / deadline-resubmitted tasks are already in the log
   }
   const bool by_tasks =
       opts_.every_n_tasks > 0 && tasks_since_ >= opts_.every_n_tasks;
@@ -230,6 +230,13 @@ bool checkpoint_manager::take_checkpoint() {
       p.e->has_committed = true;
       p.e->committed_sum = p.sum;
       p.e->has_sum = p.summed;
+      // A fresh snapshot supersedes any taint; its copies must land
+      // before the bytes are trusted across a cancellation.
+      p.e->snapshot_evs = std::move(p.evs);
+      p.e->tainted = false;
+    } else {
+      p.e->snapshot_evs.clear();
+      p.e->tainted = false;
     }
     p.e->committed_version = p.version;
   }
@@ -243,6 +250,22 @@ bool checkpoint_manager::take_checkpoint() {
   ++bs.checkpoints_taken;
   bs.checkpoint_bytes += bytes_staged;
   return true;
+}
+
+void checkpoint_manager::note_cancellation() {
+  for (entry& e : entries_) {
+    if (e.tainted || e.snapshot_evs.empty()) {
+      continue;
+    }
+    e.snapshot_evs.prune_completed_entries();
+    if (!e.snapshot_evs.empty()) {
+      // The snapshot copy was queued behind (or beside) the op that was
+      // just cancelled: when it lands it will capture bytes computed
+      // without the cancelled step. Conservative: any unlanded copy
+      // taints its entry.
+      e.tainted = true;
+    }
+  }
 }
 
 void checkpoint_manager::restore_entry(entry& e, logical_data_impl& d) {
@@ -265,6 +288,23 @@ void checkpoint_manager::restore_entry(entry& e, logical_data_impl& d) {
   // clean until genuinely rewritten.
   d.write_version = std::max(d.write_version, e.committed_version) + 1;
   e.committed_version = d.write_version;
+  if (e.tainted) [[unlikely]] {
+    // Hang-cancellation taint (DESIGN.md §12): the committed bytes were
+    // captured by a copy that was still in flight when a wedged op was
+    // cancelled — they may embed the cancellation (a step that never
+    // executed). There is no trustworthy state to roll back to: report
+    // the loss and poison instead of replaying corruption as truth.
+    d.poisoned_by = st_->record_failure(
+        failure_kind::data_lost, d.name(), -1, 1,
+        "committed snapshot of '" + d.name() +
+            "' was in flight across a hang cancellation; no trustworthy "
+            "rollback state exists");
+    if (!st_->report.failures.empty() &&
+        st_->report.failures.back().id == d.poisoned_by) {
+      st_->report.failures.back().poisoned.push_back(d.name());
+    }
+    return;  // every instance stays invalid
+  }
   if (e.has_committed) {
     // Trust boundary (integrity engine, DESIGN.md §10): a rotted committed
     // snapshot must not be installed as truth. Poison instead of restoring;

@@ -190,6 +190,14 @@ void context_state::order_record(std::string_view symbol,
 error_report context::finalize() {
   detail::gate_exclusive xg(st_->gate, mt());
   std::unique_lock lock(st_->mu);
+  if (st_->dl != nullptr) [[unlikely]] {
+    // Drain deadline (DESIGN.md §12): resolve tracked submissions — cancel,
+    // retry, quarantine or restart wedged ones — before write-backs are
+    // issued against their outputs. On the graph backend entries resolve
+    // after the epoch flush below; settle again then.
+    st_->dl->settle(false);
+    st_->dl->epoch_restarted = false;
+  }
   // Write every host-backed logical data back to its original location;
   // the copies overlap with remaining device work (§II-B). Poisoned data
   // is skipped inside write_back_host; a write-back that itself fails is
@@ -222,14 +230,33 @@ error_report context::finalize() {
       st_->record_failure(failure_kind::device_lost, "finalize", -1, 1,
                           std::string("final epoch refused: ") + e.what());
     }
-    st_->backend->wait(pending);
+    if (st_->dl != nullptr) [[unlikely]] {
+      // The epoch is flushed now (graph backend entries are live in the
+      // DES): resolve them, then wait with escalation instead of letting a
+      // wedged write-back block forever.
+      st_->dl->settle(false);
+      st_->dl->wait(pending);
+      if (round == 0 && st_->dl->epoch_restarted) {
+        // Escalation restarted the epoch after this round's write-backs
+        // were enqueued: the replayed results live only on the devices.
+        // Loop once to issue the write-backs again.
+        st_->dl->epoch_restarted = false;
+        continue;
+      }
+    } else {
+      st_->backend->wait(pending);
+    }
     break;
   }
   // Epoch-end trim (DESIGN.md §9): recycled blocks go back to the
   // platform before the final drain, so pool accounting is exact and the
   // context leaves no cached memory behind.
   st_->mem.trim_all(*st_);
-  st_->backend->wait_idle();
+  if (st_->dl != nullptr) [[unlikely]] {
+    st_->dl->settle(true);
+  } else {
+    st_->backend->wait_idle();
+  }
   st_->sweep_registry();
   return st_->report;
 }

@@ -32,6 +32,8 @@ const char* failure_kind_name(failure_kind k) {
       return "data_corrupted";
     case failure_kind::cancelled:
       return "cancelled";
+    case failure_kind::deadline_expired:
+      return "deadline_expired";
   }
   return "unknown";
 }

@@ -104,6 +104,20 @@ struct backend_stats {
   std::uint64_t scrub_passes = 0;
   /// Dual-execution verification reruns (task_config::verified()).
   std::uint64_t verified_reexecutions = 0;
+
+  // --- hang recovery / overload control (DESIGN.md §12) ---
+  /// Tasks submitted with a finite deadline armed.
+  std::uint64_t deadlines_armed = 0;
+  /// Deadline expiries that found an actual wedged (stalled) operation.
+  std::uint64_t hangs_detected = 0;
+  /// DES operations cooperatively cancelled out of a wedged engine.
+  std::uint64_t ops_cancelled = 0;
+  /// Devices blacklisted because repeated hangs crossed quarantine_after.
+  std::uint64_t quarantines = 0;
+  /// Submissions that blocked at least once on the admission window.
+  std::uint64_t submits_throttled = 0;
+  /// try_task() submissions shed with overload_error at a full window.
+  std::uint64_t tasks_shed = 0;
 };
 
 /// Outcome of one run() submission (DESIGN.md §5). The platform never

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cudastf/error.hpp"
+#include "cudastf/events.hpp"
 
 namespace cudastf {
 
@@ -99,8 +100,20 @@ class checkpoint_manager {
   /// occurs while already replaying.
   bool try_restart(const task_dep_untyped* const* deps, std::size_t n);
 
+  /// Hang-cancellation fence (DESIGN.md §12): called by the deadline
+  /// monitor after it cancels a wedged op. Any committed snapshot whose
+  /// copies have not landed yet may capture post-cancellation bytes —
+  /// those entries are marked tainted and restore refuses them.
+  void note_cancellation();
+
   bool replaying() const { return replaying_; }
   int restarts() const { return restarts_; }
+  /// Deadline-retry suppression (DESIGN.md §12): while set, record() is a
+  /// no-op. The deadline monitor resubmits a cancelled task through the
+  /// regular builders; the original submission is already in the log, and
+  /// logging the retry too would replay the task twice after a restart.
+  void set_suppressed(bool on) { suppressed_ = on; }
+  bool suppressed() const { return suppressed_; }
   /// Committed checkpoint epochs (matches stats().checkpoints_taken).
   std::uint64_t epoch() const { return epoch_; }
   std::size_t log_size() const { return log_.size(); }
@@ -125,6 +138,17 @@ class checkpoint_manager {
     /// trusted. Only maintained while the engine is armed.
     std::uint64_t committed_sum = 0;
     bool has_sum = false;
+    /// Completion of the committed snapshot's copies. The commit swaps the
+    /// buffers while the copies may still be in flight — safe because
+    /// try_restart() quiesces before reading them — but a hang
+    /// cancellation (DESIGN.md §12) breaks that: a copy queued behind the
+    /// cancelled op lands afterwards, capturing bytes that embed the
+    /// cancellation. note_cancellation() marks such entries `tainted`.
+    event_list snapshot_evs;
+    /// The committed bytes may embed a cancelled (never-executed) op:
+    /// restore refuses them and poisons the data with a report instead of
+    /// replaying corruption as truth. Cleared by the next clean commit.
+    bool tainted = false;
   };
 
   void restore_entry(entry& e, logical_data_impl& d);
@@ -143,6 +167,7 @@ class checkpoint_manager {
   std::uint64_t epoch_ = 0;
   int restarts_ = 0;
   bool replaying_ = false;
+  bool suppressed_ = false;  ///< deadline-retry suppression (set_suppressed)
 };
 
 namespace detail {

@@ -101,6 +101,17 @@ class context {
     return task_builder<Deps...>(st_, std::move(where), std::move(deps)...);
   }
 
+  /// Like task(), but a full admission window sheds the submission with a
+  /// typed overload_error instead of blocking (hang recovery / overload
+  /// control, DESIGN.md §12). Identical to task() while no limits are
+  /// armed.
+  template <class... Deps>
+  task_builder<Deps...> try_task(Deps... deps) {
+    return task_builder<Deps...>(st_, exec_place::current_device(),
+                                 std::move(deps)...)
+        .shed_on_overload();
+  }
+
   template <class... Deps>
   host_launch_builder<Deps...> host_launch(Deps... deps) {
     return host_launch_builder<Deps...>(st_, std::move(deps)...);
@@ -243,6 +254,12 @@ class context {
         throw;
       }
     }
+    if (st_->dl != nullptr) [[unlikely]] {
+      // Drain deadline (DESIGN.md §12): resolve every tracked submission —
+      // cancelling, retrying, quarantining or restarting wedged ones —
+      // instead of leaving hangs for a blocking wait to wedge on.
+      st_->dl->settle(false);
+    }
   }
 
   /// Waits for all pending operations — tasks, transfers, destructions —
@@ -274,6 +291,41 @@ class context {
     std::lock_guard lock(st_->mu);
     st_->blacklist_device(device);
   }
+
+  // --- hang recovery & overload control (DESIGN.md §12) ---
+
+  /// Arms a context-wide default deadline (virtual seconds; 0 disarms the
+  /// default but keeps the monitor): any submission without its own
+  /// .deadline() inherits it. On expiry the monitor cancels the wedged DES
+  /// operation and escalates through the existing ladder (retry in place
+  /// -> quarantine the hanging device -> epoch restart -> poison-cancel
+  /// with a cause chain naming the stuck predecessors).
+  void set_default_deadline(double seconds) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    st_->ensure_dl().default_deadline = seconds;
+  }
+
+  /// Arms the admission window: submissions block (driving the simulation,
+  /// with deadline escalation) while max_inflight_tasks submissions or
+  /// max_pending_bytes touched bytes are in flight; ctx.try_task()
+  /// submissions shed with overload_error instead. 0 = unlimited.
+  void limits(task_limits lim) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    st_->ensure_dl().limits = lim;
+  }
+
+  /// Hang strikes a device survives before quarantine (default 2).
+  void set_quarantine_after(int strikes) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    st_->ensure_dl().quarantine_after = strikes;
+  }
+
+  /// The deadline monitor, or nullptr while hang recovery is disarmed
+  /// (introspection).
+  const deadline_monitor* hang_recovery() const { return st_->dl.get(); }
 
   // --- checkpoint/restart (DESIGN.md §7) ---
 

@@ -16,6 +16,7 @@
 #include "cudasim/cudasim.hpp"
 #include "cudastf/backend.hpp"
 #include "cudastf/checkpoint.hpp"
+#include "cudastf/deadline.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
 #include "cudastf/integrity.hpp"
@@ -194,6 +195,17 @@ struct context_state {
   /// Every submission-path hook gates on this single pointer, so the
   /// fault-free fast path pays one null check when disabled.
   std::unique_ptr<checkpoint_manager> ckpt;
+
+  // --- hang recovery / overload control (deadline.cpp, DESIGN.md §12) ---
+
+  /// Non-null once a deadline or an admission limit was armed
+  /// (ctx.set_default_deadline(), ctx.limits(), task().deadline()). Like
+  /// ckpt, every hook gates on this single pointer: a context that never
+  /// arms hang recovery pays one null check per submission.
+  std::unique_ptr<deadline_monitor> dl;
+
+  /// Creates the monitor on first arming.
+  deadline_monitor& ensure_dl();
 
   // --- integrity engine (integrity.cpp, DESIGN.md §10) ---
 

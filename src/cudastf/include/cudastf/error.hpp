@@ -29,6 +29,7 @@ enum class failure_kind : std::uint8_t {
   data_lost,             ///< write-back or evacuation of a sole copy failed
   data_corrupted,        ///< checksum mismatch with no valid replica to repair from
   cancelled,             ///< not executed: an input/output was poisoned
+  deadline_expired,      ///< hung past its deadline, cancelled unrecovered
 };
 
 const char* failure_kind_name(failure_kind k);
@@ -98,6 +99,21 @@ class oom_error : public std::bad_alloc {
   int device_;
   std::size_t requested_;
   std::size_t pool_free_;
+};
+
+/// Typed shed outcome of a ctx.try_task() submission at a full admission
+/// window (hang recovery / overload control, DESIGN.md §12). Blocking
+/// submissions never see it — they wait for the window to drain instead.
+class overload_error : public std::runtime_error {
+ public:
+  overload_error(std::size_t inflight, std::size_t pending_bytes,
+                 std::size_t max_tasks, std::size_t max_bytes);
+  std::size_t inflight() const { return inflight_; }
+  std::size_t pending_bytes() const { return pending_bytes_; }
+
+ private:
+  std::size_t inflight_;
+  std::size_t pending_bytes_;
 };
 
 /// launch() scratchpad exhaustion with context (hierarchy.cpp).

@@ -32,6 +32,13 @@ class [[nodiscard]] launch_builder {
     flops_ = f;
     return std::move(*this);
   }
+  /// Arms a virtual-time deadline (seconds) for this submission: if it is
+  /// still incomplete past the deadline the wedged op is cancelled and the
+  /// hang escalated (DESIGN.md §12).
+  launch_builder&& deadline(double seconds) && {
+    deadline_ = seconds;
+    return std::move(*this);
+  }
 
   template <class Fn>
   void operator->*(Fn&& fn) && {
@@ -40,12 +47,19 @@ class [[nodiscard]] launch_builder {
     detail::gate_exclusive xg(st_->gate,
                               st_->mt_active.load(std::memory_order_acquire));
     std::lock_guard lock(st_->mu);
+    if (deadline_ > 0.0) [[unlikely]] {
+      st_->ensure_dl();
+    }
+    std::function<void()> dl_resubmit;
+    if (st_->dl != nullptr) [[unlikely]] {
+      dl_hooks(fn, dl_resubmit);  // before gridify, like record_replay
+    }
     if (st_->ckpt != nullptr) [[unlikely]] {
       record_replay(fn);  // before gridify mutates the requested places
     }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     if (st_->fault_aware()) {
-      submit_resilient(std::forward<Fn>(fn), seq);
+      submit_resilient(std::forward<Fn>(fn), seq, std::move(dl_resubmit));
       return;
     }
     const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
@@ -69,9 +83,43 @@ class [[nodiscard]] launch_builder {
       throw;
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
+    if (st_->dl != nullptr) [[unlikely]] {
+      track_one(done, devices.front(), std::move(dl_resubmit));
+    }
   }
 
  private:
+  /// Deadline-monitor submission hooks (DESIGN.md §12): admission control
+  /// plus the resubmit closure the retry rung re-invokes (captured before
+  /// gridify mutates the requested places, like record_replay).
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void dl_hooks(
+      Fn& fn, std::function<void()>& resubmit) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::admit(*st_, untyped.data(), untyped.size(), false);
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      resubmit = [self = *this, fn]() mutable {
+        auto b = self;  // keep the closure reusable across retries
+        std::move(b)->*fn;
+      };
+    }
+  }
+
+  /// Registers the completed submission with the deadline monitor.
+  [[gnu::cold]] [[gnu::noinline]] void track_one(
+      const event_list& done, int device, std::function<void()> resubmit) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::track_submission(*st_, done, symbol_, device, deadline_,
+                             untyped.data(), untyped.size(),
+                             std::move(resubmit));
+  }
+
   /// See task_builder::record_replay.
   template <class Fn>
   [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
@@ -152,7 +200,8 @@ class [[nodiscard]] launch_builder {
   /// never double-applies already-submitted shards).
   template <class Fn, std::size_t... I>
   [[gnu::cold]] [[gnu::noinline]] void submit_resilient(
-      Fn&& fn, std::index_sequence<I...> seq) {
+      Fn&& fn, std::index_sequence<I...> seq,
+      std::function<void()> dl_resubmit = {}) {
     std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
     {
       std::size_t idx = 0;
@@ -238,6 +287,11 @@ class [[nodiscard]] launch_builder {
       }
       if (bad_device < 0) {
         detail::release_all(*st_, resolved, deps_, done, seq);
+        if (st_->dl != nullptr) [[unlikely]] {
+          detail::track_submission(*st_, done, symbol_, devices.front(),
+                                   deadline_, untyped.data(), n,
+                                   std::move(dl_resubmit));
+        }
         return;
       }
       if (bad.ev) {
@@ -269,6 +323,7 @@ class [[nodiscard]] launch_builder {
   exec_place where_;
   std::tuple<Deps...> deps_;
   std::string symbol_ = "launch";
+  double deadline_ = 0.0;
   double flops_ = 0.0;
   double efficiency_ = 0.90;
 };

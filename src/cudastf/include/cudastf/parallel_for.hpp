@@ -88,6 +88,13 @@ class [[nodiscard]] parallel_for_builder {
     bytes_per_elem_ = b;
     return std::move(*this);
   }
+  /// Arms a virtual-time deadline (seconds) for this submission: if it is
+  /// still incomplete past the deadline the wedged op is cancelled and the
+  /// hang escalated (DESIGN.md §12).
+  parallel_for_builder&& deadline(double seconds) && {
+    deadline_ = seconds;
+    return std::move(*this);
+  }
 
   template <class Fn>
   void operator->*(Fn&& fn) && {
@@ -96,6 +103,13 @@ class [[nodiscard]] parallel_for_builder {
     detail::gate_exclusive xg(st_->gate,
                               st_->mt_active.load(std::memory_order_acquire));
     std::lock_guard lock(st_->mu);
+    if (deadline_ > 0.0) [[unlikely]] {
+      st_->ensure_dl();
+    }
+    std::function<void()> dl_resubmit;
+    if (st_->dl != nullptr) [[unlikely]] {
+      dl_hooks(fn, dl_resubmit);  // before gridify, like record_replay
+    }
     if (st_->ckpt != nullptr) [[unlikely]] {
       record_replay(fn);  // before gridify mutates the requested places
     }
@@ -106,7 +120,8 @@ class [[nodiscard]] parallel_for_builder {
       return;
     }
     if (st_->fault_aware()) {
-      submit_devices_resilient(std::forward<Fn>(fn), seq);
+      submit_devices_resilient(std::forward<Fn>(fn), seq,
+                               std::move(dl_resubmit));
       return;
     }
     const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
@@ -133,6 +148,9 @@ class [[nodiscard]] parallel_for_builder {
       throw;
     }
     detail::release_all(*st_, resolved, deps_, done, seq);
+    if (st_->dl != nullptr) [[unlikely]] {
+      track_one(done, devices.front(), std::move(dl_resubmit));
+    }
   }
 
  private:
@@ -152,6 +170,37 @@ class [[nodiscard]] parallel_for_builder {
         std::move(b)->*fn;
       }, std::move(touched));
     }
+  }
+
+  /// Deadline-monitor submission hooks (DESIGN.md §12): admission control
+  /// plus the resubmit closure the retry rung re-invokes (captured before
+  /// gridify mutates the requested places, like record_replay).
+  template <class Fn>
+  [[gnu::cold]] [[gnu::noinline]] void dl_hooks(
+      Fn& fn, std::function<void()>& resubmit) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::admit(*st_, untyped.data(), untyped.size(), false);
+    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+      resubmit = [self = *this, fn]() mutable {
+        auto b = self;  // keep the closure reusable across retries
+        std::move(b)->*fn;
+      };
+    }
+  }
+
+  /// Registers the completed submission with the deadline monitor.
+  [[gnu::cold]] [[gnu::noinline]] void track_one(
+      const event_list& done, int device, std::function<void()> resubmit) {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    detail::track_submission(*st_, done, symbol_, device, deadline_,
+                             untyped.data(), untyped.size(),
+                             std::move(resubmit));
   }
 
   /// Drops the acquire-time pins after a failed fast-path submission (the
@@ -226,7 +275,8 @@ class [[nodiscard]] parallel_for_builder {
   /// composite place), so re-execution cannot double-apply work.
   template <class Fn, std::size_t... I>
   [[gnu::cold]] [[gnu::noinline]] void submit_devices_resilient(
-      Fn&& fn, std::index_sequence<I...> seq) {
+      Fn&& fn, std::index_sequence<I...> seq,
+      std::function<void()> dl_resubmit = {}) {
     std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
     {
       std::size_t idx = 0;
@@ -314,6 +364,11 @@ class [[nodiscard]] parallel_for_builder {
       }
       if (bad_device < 0) {
         detail::release_all(*st_, resolved, deps_, done, seq);
+        if (st_->dl != nullptr) [[unlikely]] {
+          detail::track_submission(*st_, done, symbol_, devices.front(),
+                                   deadline_, untyped.data(), n,
+                                   std::move(dl_resubmit));
+        }
         return;
       }
       // Order anything already submitted (and a partial prefix) before any
@@ -371,6 +426,11 @@ class [[nodiscard]] parallel_for_builder {
       throw;
     }
     detail::release_all(*st_, resolved, deps_, done_list, seq);
+    if (st_->dl != nullptr) [[unlikely]] {
+      // Host shards skip the retry rung (device = -1, no resubmit), like
+      // host_launch does.
+      track_one(done_list, -1, {});
+    }
   }
 
   std::shared_ptr<context_state> st_;
@@ -378,6 +438,7 @@ class [[nodiscard]] parallel_for_builder {
   box<R> shape_;
   std::tuple<Deps...> deps_;
   std::string symbol_ = "parallel_for";
+  double deadline_ = 0.0;
   double flops_per_elem_ = 2.0;
   double bytes_per_elem_ = -1.0;
   double efficiency_ = 0.90;  ///< generated kernels vs hand-tuned libraries

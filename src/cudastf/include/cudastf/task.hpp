@@ -80,6 +80,23 @@ class [[nodiscard]] task_builder {
     return std::move(*this);
   }
 
+  /// Arms a per-task deadline in virtual seconds (hang recovery,
+  /// DESIGN.md §12): if the task has not completed this long after
+  /// submission, the monitor cancels the wedged operation and escalates
+  /// (retry in place -> quarantine -> epoch restart -> poison-cancel).
+  /// Creates the context's deadline monitor on first use.
+  task_builder&& deadline(double seconds) && {
+    deadline_ = seconds;
+    return std::move(*this);
+  }
+
+  /// Shed instead of block at a full admission window (ctx.try_task()):
+  /// the submission throws overload_error without acquiring anything.
+  task_builder&& shed_on_overload() && {
+    shed_ = true;
+    return std::move(*this);
+  }
+
   /// Submits the task. `fn` receives (stream&, views...).
   template <class Fn>
   void operator->*(Fn&& fn) && {
@@ -115,6 +132,23 @@ class [[nodiscard]] task_builder {
   template <class Fn>
   void submit_locked(Fn&& fn) {
     std::lock_guard lock(st_->mu);
+    if (deadline_ > 0.0) [[unlikely]] {
+      st_->ensure_dl();  // builder-armed deadline on a so-far-disarmed context
+    }
+    std::function<void()> dl_resubmit;
+    if (st_->dl != nullptr) [[unlikely]] {
+      // Backpressure gate first (before anything is acquired or logged),
+      // then the retry closure — a copy of the builder taken before
+      // submission mutates anything, like the checkpoint log's.
+      const auto u = make_untyped();
+      detail::admit(*st_, u.data(), u.size(), shed_);
+      if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
+        dl_resubmit = [self = *this, fn]() mutable {
+          auto b = self;
+          std::move(b) ->* fn;
+        };
+      }
+    }
     if (st_->ckpt != nullptr) [[unlikely]] {
       record_replay(fn);
     }
@@ -134,7 +168,8 @@ class [[nodiscard]] task_builder {
     }
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     if (st_->fault_aware()) {
-      submit_resilient(std::forward<Fn>(fn), device, make_untyped());
+      submit_resilient(std::forward<Fn>(fn), device, make_untyped(),
+                       std::move(dl_resubmit));
       return;
     }
     std::array<data_place, sizeof...(Deps)> resolved;
@@ -169,6 +204,11 @@ class [[nodiscard]] task_builder {
       if (!st_->order_edges.empty()) [[unlikely]] {
         st_->order_record(symbol_, done_list);
       }
+      if (st_->dl != nullptr) [[unlikely]] {
+        const auto u = make_untyped();
+        detail::track_submission(*st_, done_list, symbol_, device, deadline_,
+                                 u.data(), u.size(), std::move(dl_resubmit));
+      }
     } catch (const detail::corruption_error& e) {
       record_submit_failure(failure_kind::data_corrupted, e.device, e.what());
       throw;
@@ -195,15 +235,17 @@ class [[nodiscard]] task_builder {
     if (st_->gate.held_exclusive_by_me()) {
       return false;
     }
-    if (verified_ || where_.type() == exec_place::kind::automatic) {
-      return false;  // dual execution / HEFT load mutation: structural
+    if (verified_ || deadline_ > 0.0 || shed_ ||
+        where_.type() == exec_place::kind::automatic) {
+      return false;  // dual execution / deadline / HEFT mutation: structural
     }
     context_state& st = *st_;
     detail::gate_shared sg(st.gate);
     // Structural context features force the slow path wholesale: their
     // hooks mutate shared engine state the stripes do not cover.
-    if (st.ckpt != nullptr || st.integ != nullptr || st.fault_aware() ||
-        !st.order_edges.empty() || !st.backend->concurrent_safe()) {
+    if (st.ckpt != nullptr || st.integ != nullptr || st.dl != nullptr ||
+        st.fault_aware() || !st.order_edges.empty() ||
+        !st.backend->concurrent_safe()) {
       return false;
     }
     const int device = where_.type() == exec_place::kind::device
@@ -323,7 +365,8 @@ class [[nodiscard]] task_builder {
   template <class Fn>
   [[gnu::cold]] [[gnu::noinline]] void submit_resilient(
       Fn&& fn, int device,
-      const std::array<const task_dep_untyped*, sizeof...(Deps)>& untyped) {
+      const std::array<const task_dep_untyped*, sizeof...(Deps)>& untyped,
+      std::function<void()> dl_resubmit = {}) {
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     const std::size_t n = untyped.size();
     if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
@@ -410,6 +453,11 @@ class [[nodiscard]] task_builder {
           if (!st_->order_edges.empty()) {
             st_->order_record(symbol_, done_list);
           }
+          if (st_->dl != nullptr) [[unlikely]] {
+            detail::track_submission(*st_, done_list, symbol_, device,
+                                     deadline_, untyped.data(), n,
+                                     std::move(dl_resubmit));
+          }
           return;
         }
         r = detail::run_resilient(*st_, device,
@@ -435,6 +483,10 @@ class [[nodiscard]] task_builder {
         detail::release_all(*st_, resolved, deps_, done_list, seq);
         if (!st_->order_edges.empty()) {
           st_->order_record(symbol_, done_list);
+        }
+        if (st_->dl != nullptr) [[unlikely]] {
+          detail::track_submission(*st_, done_list, symbol_, device, deadline_,
+                                   untyped.data(), n, std::move(dl_resubmit));
         }
         return;
       }
@@ -466,6 +518,8 @@ class [[nodiscard]] task_builder {
   std::tuple<Deps...> deps_;
   std::string symbol_ = "task";
   bool verified_ = false;  ///< dual-execution voting requested (.verified())
+  double deadline_ = 0.0;  ///< per-task deadline, virtual seconds (0 = none)
+  bool shed_ = false;      ///< shed instead of block at a full window
 };
 
 /// Builder for host tasks (CPU-bound work integrated in the DAG, e.g. the
@@ -506,6 +560,9 @@ class [[nodiscard]] host_launch_builder {
       std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
                  deps_);
     }
+    if (st_->dl != nullptr) [[unlikely]] {
+      detail::admit(*st_, untyped.data(), untyped.size(), false);
+    }
     const bool aware = st_->fault_aware();
     if (aware &&
         detail::cancel_if_poisoned(*st_, untyped.data(), untyped.size(),
@@ -540,6 +597,14 @@ class [[nodiscard]] host_launch_builder {
       detail::release_all(*st_, resolved, deps_, done_list, seq);
       if (!st_->order_edges.empty()) [[unlikely]] {
         st_->order_record(symbol_, done_list);
+      }
+      if (st_->dl != nullptr) [[unlikely]] {
+        // Host tasks take the default deadline and count against the
+        // window; they skip the retry rung (resubmit = null), escalating
+        // straight to restart/poison like the checkpoint log's move-only
+        // fallback.
+        detail::track_submission(*st_, done_list, symbol_, -1, 0.0,
+                                 untyped.data(), untyped.size(), {});
       }
     } catch (const detail::device_lost_error& e) {
       detail::unpin_deps(untyped.data(), untyped.size());

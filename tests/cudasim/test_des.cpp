@@ -203,7 +203,7 @@ TEST(DesWatchdog, DependencyCycleFailsFastWithNames) {
     FAIL() << "drain() must throw on a dependency cycle";
   } catch (const std::logic_error& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("stuck operations (2)"), std::string::npos) << what;
+    EXPECT_NE(what.find("stuck operations (2, oldest first)"), std::string::npos) << what;
     EXPECT_NE(what.find("'cycle_a'"), std::string::npos) << what;
     EXPECT_NE(what.find("'cycle_b'"), std::string::npos) << what;
     EXPECT_NE(what.find("waiting on 1 unfinished predecessor(s)"),
@@ -245,7 +245,7 @@ TEST(DesWatchdog, ReportCapsLongStuckLists) {
     FAIL() << "drain() must throw with stuck ops left behind";
   } catch (const std::logic_error& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("stuck operations (12)"), std::string::npos) << what;
+    EXPECT_NE(what.find("stuck operations (12, oldest first)"), std::string::npos) << what;
     EXPECT_NE(what.find("... and 4 more"), std::string::npos) << what;
   }
 }
