@@ -48,6 +48,9 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$repo" -B "$build"
 cmake --build "$build" -j "$jobs"
+# Engine entry points live in submit.{hpp,cpp} only (DESIGN.md §13); a
+# builder header referencing one is structural drift and fails the run.
+"$repo/scripts/check_builder_drift.sh"
 # Wall-clock timeout: the suite exercises hang injection and recovery; if a
 # regression ever wedges a real (non-virtual) wait, the run fails loudly
 # instead of hanging CI. Normal runs finish in seconds.
@@ -84,6 +87,25 @@ if [[ "$bench_smoke" == 1 ]]; then
   done
   [[ "$status" == 0 ]] || exit "$status"
   echo "bench-smoke: all benchmark JSON schemas match their baselines"
+
+  # Task-overhead guard (Table I): the submission pipeline must not slow
+  # the per-task cost. Compare the aggregate mean_us_per_task of this run
+  # against the checked-in baseline; fail on a >10% regression. Aggregating
+  # over all topology/device/thread records absorbs per-record noise while
+  # still catching a systematic slowdown of the submission path.
+  mean_us() {
+    grep -o '"mean_us_per_task"[[:space:]]*:[[:space:]]*[0-9.]*' "$1" |
+      awk -F: '{ sum += $2; n += 1 } END { if (n) printf "%.6f", sum / n }'
+  }
+  base_us="$(mean_us "$repo/BENCH_table1.json")"
+  new_us="$(mean_us "$smoke_dir/bench_table1_task_overhead.json")"
+  echo "bench-smoke: µs/task aggregate baseline=$base_us current=$new_us"
+  if ! awk -v b="$base_us" -v n="$new_us" \
+      'BEGIN { exit !(b > 0 && n <= b * 1.10) }'; then
+    echo "bench-smoke: task overhead regressed >10% vs BENCH_table1.json" \
+         "(baseline ${base_us}µs/task, current ${new_us}µs/task)" >&2
+    exit 1
+  fi
 fi
 
 if [[ "$chaos" == 1 ]]; then
@@ -125,7 +147,8 @@ if [[ "$sanitize" == 1 ]]; then
   cmake -S "$repo" -B "$asan_build" -DREPRO_SANITIZE=ON
   cmake --build "$asan_build" -j "$jobs" \
     --target test_fault_injection test_eviction test_checkpoint \
-             test_mem_engine test_integrity test_deadline
+             test_mem_engine test_integrity test_deadline \
+             test_submit_pipeline
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_fault_injection"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
@@ -141,6 +164,10 @@ if [[ "$sanitize" == 1 ]]; then
   # regression gate.
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     "$asan_build/tests/test_deadline"
+  # Observer records cross the failure/cancellation paths (DESIGN.md §13):
+  # emission after rollback is where a dangling dep record would hide.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    "$asan_build/tests/test_submit_pipeline"
 fi
 
 if [[ "$tsan" == 1 ]]; then
@@ -148,10 +175,13 @@ if [[ "$tsan" == 1 ]]; then
   cmake -S "$repo" -B "$tsan_build" -DREPRO_TSAN=ON
   cmake --build "$tsan_build" -j "$jobs" \
     --target test_parallel_submit test_fastpath test_fault_injection \
-             test_deadline
+             test_deadline test_submit_pipeline
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_parallel_submit"
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fastpath"
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_fault_injection"
   # Parallel submission racing backpressure, cancellation and restart.
   TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_deadline"
+  # MT workers entering/leaving the fast path around observer attach and
+  # detach — where a race between emission and the gate would hide.
+  TSAN_OPTIONS=halt_on_error=1 "$tsan_build/tests/test_submit_pipeline"
 fi

@@ -165,16 +165,23 @@ void graph_backend::flush() {
   cudasim::graph_exec* exec = nullptr;
   auto& bucket = cache_[summary_];
   for (auto& candidate : bucket) {
-    if (candidate->update(*g)) {
-      exec = candidate.get();
+    if (candidate.exec->update(*g)) {
+      exec = candidate.exec.get();
+      candidate.last_use = ++lru_tick_;
       ++stats_.graph_updates;
       break;
     }
   }
   if (exec == nullptr) {
-    bucket.push_back(std::make_unique<cudasim::graph_exec>(*g));
-    exec = bucket.back().get();
+    bucket.push_back({std::make_unique<cudasim::graph_exec>(*g), ++lru_tick_});
+    exec = bucket.back().exec.get();
     ++stats_.graph_instantiations;
+    ++cache_size_;
+    // The new entry carries the max tick, so with cap >= 1 it is never the
+    // victim of its own insertion.
+    while (cache_size_ > cache_cap_) {
+      evict_lru();
+    }
   }
 
   for (const event_ptr& e : external_deps_) {
@@ -208,7 +215,12 @@ void graph_backend::launch_refused(cudasim::graph_exec& exec) {
   // kernel fault hitting the launch itself) are safe to relaunch in place
   // precisely because nothing ran; permanent ones (a node targets a failed
   // device) must surface so fence/checkpoint/restart callers can escalate.
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  // Relaunch count and spacing follow the context's retry policy
+  // (ctx.set_retry_policy()): attempt 1 was the refused launch itself, so
+  // up to max_attempts - 1 relaunches, each preceded by an exponential
+  // virtual-time backoff on the epoch stream.
+  double backoff = retry_.backoff_seconds;
+  for (int attempt = 1; attempt < retry_.max_attempts; ++attempt) {
     const cudasim::sim_status st = epoch_stream_->status();
     if (st == cudasim::sim_status::success) {
       return;
@@ -218,6 +230,10 @@ void graph_backend::launch_refused(cudasim::graph_exec& exec) {
     }
     epoch_stream_->clear_status();
     ++stats_.graph_launch_retries;
+    if (backoff > 0) {
+      plat_->stream_delay(*epoch_stream_, backoff);
+      backoff *= retry_.backoff_multiplier;
+    }
     exec.launch(*epoch_stream_);
   }
   const cudasim::sim_status st = epoch_stream_->status();
@@ -236,6 +252,46 @@ void graph_backend::launch_refused(cudasim::graph_exec& exec) {
     throw detail::device_lost_error(dead);
   }
   throw detail::transfer_error(st);
+}
+
+void graph_backend::evict_lru() {
+  // Global min-tick scan across buckets: the cache is small (it exists to
+  // bound memory, not to be huge), so a linear scan beats maintaining an
+  // intrusive LRU list that instantiation/update would have to splice.
+  std::uint64_t best = ~0ull;
+  std::vector<cached_exec>* victim_bucket = nullptr;
+  std::size_t victim_idx = 0;
+  std::uint64_t victim_key = 0;
+  for (auto& [key, bucket] : cache_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].last_use < best) {
+        best = bucket[i].last_use;
+        victim_bucket = &bucket;
+        victim_idx = i;
+        victim_key = key;
+      }
+    }
+  }
+  if (victim_bucket == nullptr) {
+    return;
+  }
+  // Destroying the exec releases its pooled nodes back to the platform;
+  // already-launched epochs are unaffected (launch copied the bodies).
+  std::swap((*victim_bucket)[victim_idx], victim_bucket->back());
+  victim_bucket->pop_back();
+  if (victim_bucket->empty()) {
+    cache_.erase(victim_key);
+  }
+  --cache_size_;
+  ++stats_.graph_execs_evicted;
+}
+
+void graph_backend::set_exec_cache_capacity(std::size_t n) {
+  cache_cap_ = n < 1 ? 1 : n;  // an uncacheable backend would re-instantiate
+                               // every epoch; keep at least the live one
+  while (cache_size_ > cache_cap_) {
+    evict_lru();
+  }
 }
 
 void graph_backend::fence() { flush(); }

@@ -1,5 +1,11 @@
 // Epoch checkpoint/restart engine (DESIGN.md §7).
 //
+// Pipeline hook point (DESIGN.md §13): replay recording attaches to the
+// admission stage — submit_pipeline::stage_admission appends the requeue
+// closure to the log before anything is acquired or mutated, so a replay
+// re-enters the builder verbatim; escalation (try_epoch_restart) is
+// reached from the pipeline's failure ladder.
+//
 // Commit protocol: snapshots are issued asynchronously into per-entry spare
 // buffers between two backend fences (the epoch barriers — on the graph
 // backend they close the compute epoch before and the snapshot epoch

@@ -258,6 +258,9 @@ error_report context::finalize() {
     st_->backend->wait_idle();
   }
   st_->sweep_registry();
+  // CUDASTF_DOT_FILE arming (DESIGN.md §13): write the observed task graph
+  // now that every submission has reached its terminal pipeline stage.
+  detail::flush_env_dot(*st_);
   return st_->report;
 }
 

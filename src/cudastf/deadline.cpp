@@ -1,4 +1,10 @@
 // Hang recovery and overload control (deadline.hpp, DESIGN.md §12).
+//
+// Pipeline hook points (DESIGN.md §13): arming and overload admission
+// (block or shed) run in submit_pipeline::stage_admission; the retry rung
+// receives the op's requeue closure from the terminal finish stage
+// (track_submission), so a cancelled-then-retried op re-enters the
+// pipeline from the top.
 #include "cudastf/deadline.hpp"
 
 #include <algorithm>

@@ -2,6 +2,12 @@
 // failure recording with cause chains, data poisoning and cancellation,
 // transient retry with virtual-time backoff, device blacklisting with
 // host evacuation and deterministic re-routing.
+//
+// Pipeline hook points (DESIGN.md §13): poison-cancel runs as the
+// pipeline's pre-acquire stage (cancel_if_poisoned); retry/re-route is
+// the resilient run path (run_resilient, driven by the execute_*
+// drivers' round loops); recording and escalation form the failure
+// ladder (fail_task / fail_task_or_restart) in submit.cpp.
 #include <algorithm>
 #include <limits>
 #include <new>

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cudasim/cudasim.hpp"
+#include "cudastf/error.hpp"
 #include "cudastf/events.hpp"
 #include "cudastf/threading.hpp"
 
@@ -90,6 +91,9 @@ struct backend_stats {
   /// Whole-epoch graph launches that were refused by a transient fault and
   /// relaunched in place (a refused launch enqueues none of its nodes).
   std::uint64_t graph_launch_retries = 0;
+  /// Memoized executables destroyed by the graph-exec cache's LRU cap
+  /// (ctx.set_graph_cache_capacity()).
+  std::uint64_t graph_execs_evicted = 0;
 
   // --- integrity engine (DESIGN.md §10) ---
   /// Content checksums computed at write-release (one per writing task).
@@ -185,6 +189,14 @@ class backend_iface {
   /// Hint that multi-threaded submission is starting/stopping; backends use
   /// it to engage per-stream locking and thread striping. Default: ignore.
   virtual void set_concurrent(bool) {}
+
+  /// Propagates the context's retry policy (ctx.set_retry_policy()); the
+  /// graph backend applies it to refused epoch relaunches. Default: ignore.
+  virtual void set_retry_policy(const retry_policy&) {}
+
+  /// Caps the backend's memoized-executable cache (graph backend; evicts
+  /// down immediately, least recently launched first). Default: ignore.
+  virtual void set_exec_cache_capacity(std::size_t) {}
 
   /// Aggregated counter snapshot. The two hot-path counters (`tasks`,
   /// `deps_wired`) accumulate in per-thread cells and are summed into the
@@ -299,6 +311,9 @@ class graph_backend final : public backend_iface {
   /// correct (and with deterministic order, bit-identical) but not faster.
   bool concurrent_safe() const override { return false; }
 
+  void set_retry_policy(const retry_policy& p) override { retry_ = p; }
+  void set_exec_cache_capacity(std::size_t n) override;
+
  private:
   /// One pass over a dependency list: whether it mentions graph nodes at
   /// all, and whether any belongs to the epoch still under construction
@@ -328,9 +343,22 @@ class graph_backend final : public backend_iface {
   std::uint64_t epoch_ = 0;                  ///< id of epoch under construction
   std::uint64_t summary_ = 1469598103934665603ull;  ///< FNV accumulator
   event_list external_deps_;  ///< real-stream events the epoch launch waits on
-  /// Memoization cache: summary hash -> executables with that summary.
-  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<cudasim::graph_exec>>>
-      cache_;
+  /// Memoization cache: summary hash -> executables with that summary, each
+  /// stamped with a launch tick for LRU eviction at cache_cap_. Evicting a
+  /// launched executable is safe: graph_exec::launch copies node bodies
+  /// into the DES, so in-flight epochs never reference the exec again.
+  struct cached_exec {
+    std::unique_ptr<cudasim::graph_exec> exec;
+    std::uint64_t last_use = 0;
+  };
+  std::unordered_map<std::uint64_t, std::vector<cached_exec>> cache_;
+  std::size_t cache_size_ = 0;   ///< total executables across all buckets
+  std::size_t cache_cap_ = 64;   ///< LRU cap (set_exec_cache_capacity)
+  std::uint64_t lru_tick_ = 0;   ///< monotonic launch clock
+  /// Destroys the least recently launched executable (releases its pooled
+  /// nodes) and counts it in graph_execs_evicted.
+  void evict_lru();
+  retry_policy retry_;  ///< governs refused-epoch relaunch attempts/backoff
   std::shared_ptr<backend_event> last_epoch_done_;  ///< stream_event of last flush
 };
 

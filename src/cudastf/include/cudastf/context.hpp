@@ -34,6 +34,7 @@ class context {
       : st_(std::make_shared<context_state>()) {
     st_->plat = &p;
     st_->backend = std::make_unique<stream_backend>(p, mode, pool_size);
+    detail::arm_env_dot(*st_);  // CUDASTF_DOT_FILE (DESIGN.md §13)
   }
 
   /// Graph backend (§III-A): same task interface, all operations lowered to
@@ -273,11 +274,13 @@ class context {
   // --- error model (DESIGN.md §5) ---
 
   /// Retry policy for transiently-failed submissions (attempts, exponential
-  /// virtual-time backoff).
+  /// virtual-time backoff). Also governs the graph backend's epoch-launch
+  /// relaunch loop.
   void set_retry_policy(const retry_policy& p) {
     detail::gate_exclusive xg(st_->gate, mt());
     std::lock_guard lock(st_->mu);
     st_->retry = p;
+    st_->backend->set_retry_policy(p);
   }
 
   /// The failures and recovery counters accumulated so far.
@@ -415,7 +418,66 @@ class context {
     st_->declare_order(std::move(before), std::move(after));
   }
 
+  // --- submission-pipeline observers (DESIGN.md §13) ---
+
+  /// Registers a pipeline observer: `obs.on_op()` fires once per
+  /// submission with its terminal op_record (completed, cancelled or
+  /// failed), under the context lock. The observer must outlive the
+  /// context or be detached with unobserve(). While any observer is
+  /// attached, submissions are structural: they leave the §11 lock-free
+  /// fast path (fast_path_submits() stops advancing).
+  void observe(submit_observer& obs) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    st_->observers.push_back(&obs);
+  }
+
+  /// Detaches a previously registered observer (no-op if absent).
+  void unobserve(submit_observer& obs) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    auto& v = st_->observers;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == &obs) {
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Arms the context-owned Graphviz exporter (idempotent) and returns it.
+  /// Equivalent to setting CUDASTF_DOT_FILE, minus the finalize()-time
+  /// auto-write: render with dot_export(path) whenever convenient.
+  dot_exporter& enable_dot() {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    if (st_->dot == nullptr) {
+      st_->dot = std::make_unique<dot_exporter>();
+      st_->observers.push_back(st_->dot.get());
+    }
+    return *st_->dot;
+  }
+
+  /// Writes the lowered task graph observed so far as Graphviz DOT —
+  /// places, access modes, devices, and cause-chain poison edges (the real
+  /// CUDASTF's CUDASTF_DOT_FILE view). False when no exporter is armed
+  /// (enable_dot() / CUDASTF_DOT_FILE) or the file could not be written.
+  bool dot_export(const std::string& path) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    return st_->dot != nullptr && st_->dot->write(path);
+  }
+
   // --- configuration & introspection ---
+
+  /// Caps the graph backend's memoized-executable cache (least recently
+  /// launched epochs are destroyed first, counted in stats().
+  /// graph_execs_evicted). No-op on the stream backend.
+  void set_graph_cache_capacity(std::size_t n) {
+    detail::gate_exclusive xg(st_->gate, mt());
+    std::lock_guard lock(st_->mu);
+    st_->backend->set_exec_cache_capacity(n);
+  }
 
   /// When disabled, kernel bodies are skipped: virtual-time benchmarking at
   /// paper scale without host-side numerics (see DESIGN.md §1).

@@ -27,6 +27,8 @@
 namespace cudastf {
 
 class logical_data_impl;
+class submit_observer;
+class dot_exporter;
 
 struct context_state {
   context_state() = default;
@@ -237,6 +239,21 @@ struct context_state {
   /// Records a finished task's completion events when its symbol is the
   /// predecessor of a declared edge.
   void order_record(std::string_view symbol, const event_list& done);
+
+  // --- submission pipeline observers (submit.cpp, DESIGN.md §13) ---
+
+  /// Registered pipeline observers (ctx.observe()). Non-empty observers
+  /// force the slow path: op records are built and emitted under `mu`.
+  std::vector<submit_observer*> observers;
+
+  /// The context-owned DOT exporter, when enabled via ctx.enable_dot() or
+  /// the CUDASTF_DOT_FILE environment variable. Incomplete type here; the
+  /// destructor lives in context.cpp where dot_exporter is complete.
+  std::unique_ptr<dot_exporter> dot;
+
+  /// Monotonic op id for pipeline records (observers registered ⇒ slow
+  /// path ⇒ incremented under `mu`).
+  std::uint64_t next_op_id = 1;
 };
 
 }  // namespace cudastf

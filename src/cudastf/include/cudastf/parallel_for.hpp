@@ -3,6 +3,11 @@
 // place the shape is split across devices with a blocked partition and
 // affine data moves to a composite data place (§VI), so the same body runs
 // unchanged on one or many devices.
+//
+// Like task.hpp, this builder only lowers: op_desc + hooks into the staged
+// pipeline (submit.{hpp,cpp}, DESIGN.md §13). The construct-specific parts
+// kept here are the shape partitioning, the kernel cost model and the
+// generated kernel bodies.
 #pragma once
 
 #include <memory>
@@ -103,132 +108,133 @@ class [[nodiscard]] parallel_for_builder {
     detail::gate_exclusive xg(st_->gate,
                               st_->mt_active.load(std::memory_order_acquire));
     std::lock_guard lock(st_->mu);
-    if (deadline_ > 0.0) [[unlikely]] {
-      st_->ensure_dl();
+    const auto untyped = make_untyped();
+    op_desc op;
+    op.kind = op_kind::parallel_for;
+    op.symbol = &symbol_;
+    op.deps = untyped.data();
+    op.n_deps = untyped.size();
+    op.deadline = deadline_;
+    const bool host = where_.is_host();
+    if (host) {
+      op.channel = backend_iface::channel::host;
     }
-    std::function<void()> dl_resubmit;
-    if (st_->dl != nullptr) [[unlikely]] {
-      dl_hooks(fn, dl_resubmit);  // before gridify, like record_replay
-    }
-    if (st_->ckpt != nullptr) [[unlikely]] {
-      record_replay(fn);  // before gridify mutates the requested places
-    }
-    constexpr auto seq = std::index_sequence_for<Deps...>{};
-
-    if (where_.is_host()) {
-      submit_host(std::forward<Fn>(fn), seq);
-      return;
-    }
-    if (st_->fault_aware()) {
-      submit_devices_resilient(std::forward<Fn>(fn), seq,
-                               std::move(dl_resubmit));
-      return;
-    }
-    const std::vector<int> devices = detail::resolve_devices(where_, *st_->plat);
-    if (devices.size() > 1) {
-      detail::gridify_places(deps_, detail::default_composite(devices), seq);
-    }
+    detail::submit_pipeline pipe(*st_, op);
+    // The requeue closure copies the builder before plan/bind mutate the
+    // requested places, so a replay/retry re-enters verbatim.
+    pipe.stage_admission(pipe.needs_requeue()
+                             ? detail::make_requeue(*this, fn)
+                             : std::function<void()>{});
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list done;
-    try {
-      event_list ready =
-          detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
-      auto views = detail::make_views(resolved, deps_, seq);
-      for (std::size_t i = 0; i < devices.size(); ++i) {
-        event_ptr ev = submit_one(fn, views, resolved, devices, i, seq,
-                                  nullptr, &ready);
-        if (ev) {
-          done.add(std::move(ev));
-        }
-      }
-    } catch (...) {
-      // A failed submission never reaches release_all, which normally
-      // unpins; drop the acquire-time pins so the instances stay evictable.
-      unpin_all();
-      throw;
+    hooks_t<std::remove_reference_t<Fn>> h(*this, pipe, resolved, fn, host);
+    if (host) {
+      pipe.execute_host_shard(h);
+      return;
     }
-    detail::release_all(*st_, resolved, deps_, done, seq);
-    if (st_->dl != nullptr) [[unlikely]] {
-      track_one(done, devices.front(), std::move(dl_resubmit));
-    }
+    pipe.execute_grid(h);
   }
 
  private:
-  /// See task_builder::record_replay.
+  /// Pipeline hooks closing over this builder's typed dependency tuple.
   template <class Fn>
-  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
-    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
-      if (st_->ckpt->replaying()) {
+  struct hooks_t final : detail::op_hooks {
+    parallel_for_builder& b;
+    detail::submit_pipeline& pipe;
+    std::array<data_place, sizeof...(Deps)>& res;
+    std::array<data_place, sizeof...(Deps)> orig{};
+    Fn* fn;
+    bool host;
+
+    hooks_t(parallel_for_builder& b_, detail::submit_pipeline& pipe_,
+            std::array<data_place, sizeof...(Deps)>& res_, Fn& fn_,
+            bool host_)
+        : b(b_), pipe(pipe_), res(res_), fn(&fn_), host(host_) {
+      resolved = res.data();
+      b.save_places(orig);
+    }
+
+    std::vector<int> plan() override {
+      // Restore the originally-requested places first: a retry after a
+      // device loss re-binds against the current survivors.
+      b.restore_places(orig);
+      return detail::resolve_devices(b.where_, *b.st_->plat);
+    }
+
+    void bind(const std::vector<int>& devices) override {
+      if (devices.size() > 1) {
+        detail::gridify_places(b.deps_, detail::default_composite(devices),
+                               std::index_sequence_for<Deps...>{});
+      }
+    }
+
+    event_list acquire(int lead_device) override {
+      return detail::acquire_all(*b.st_, lead_device, res, b.deps_,
+                                 std::index_sequence_for<Deps...>{});
+    }
+
+    void run(const int* devices, std::size_t ndev, const event_list& ready,
+             event_list& done, detail::resilient_result* rr,
+             int* bad_device) override {
+      auto views = detail::make_views(res, b.deps_,
+                                      std::index_sequence_for<Deps...>{});
+      if (host) {
+        b.run_host(pipe, *fn, views, ready, done, rr);
         return;
       }
-      std::vector<std::weak_ptr<logical_data_impl>> touched;
-      touched.reserve(sizeof...(Deps));
-      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
-                 deps_);
-      st_->ckpt->record([self = *this, fn]() mutable {
-        auto b = self;  // keep the log entry reusable across restarts
-        std::move(b)->*fn;
-      }, std::move(touched));
+      for (std::size_t i = 0; i < ndev; ++i) {
+        detail::resilient_result r;
+        b.run_device_shard(pipe, *fn, views, res, devices, ndev, i, ready,
+                           done, rr != nullptr ? &r : nullptr);
+        if (rr != nullptr && r.status != cudasim::sim_status::success) {
+          *rr = r;
+          *bad_device = devices[i];
+          return;
+        }
+      }
     }
-  }
 
-  /// Deadline-monitor submission hooks (DESIGN.md §12): admission control
-  /// plus the resubmit closure the retry rung re-invokes (captured before
-  /// gridify mutates the requested places, like record_replay).
-  template <class Fn>
-  [[gnu::cold]] [[gnu::noinline]] void dl_hooks(
-      Fn& fn, std::function<void()>& resubmit) {
-    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
-    std::size_t idx = 0;
-    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
-               deps_);
-    detail::admit(*st_, untyped.data(), untyped.size(), false);
-    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
-      resubmit = [self = *this, fn]() mutable {
-        auto b = self;  // keep the closure reusable across retries
-        std::move(b)->*fn;
-      };
+    void release(const event_list& done) override {
+      detail::release_all(*b.st_, res, b.deps_, done,
+                          std::index_sequence_for<Deps...>{});
     }
+  };
+
+  void save_places(std::array<data_place, sizeof...(Deps)>& out) const {
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((out[idx++] = d.untyped.place), ...); },
+               deps_);
   }
 
-  /// Registers the completed submission with the deadline monitor.
-  [[gnu::cold]] [[gnu::noinline]] void track_one(
-      const event_list& done, int device, std::function<void()> resubmit) {
+  void restore_places(const std::array<data_place, sizeof...(Deps)>& in) {
+    std::size_t idx = 0;
+    std::apply([&](auto&... d) { ((d.untyped.place = in[idx++]), ...); },
+               deps_);
+  }
+
+  std::array<const task_dep_untyped*, sizeof...(Deps)> make_untyped() const {
     std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
     std::size_t idx = 0;
     std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
                deps_);
-    detail::track_submission(*st_, done, symbol_, device, deadline_,
-                             untyped.data(), untyped.size(),
-                             std::move(resubmit));
+    return untyped;
   }
 
-  /// Drops the acquire-time pins after a failed fast-path submission (the
-  /// resilient paths do their own pin accounting).
-  [[gnu::cold]] [[gnu::noinline]] void unpin_all() {
-    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
-    std::size_t idx = 0;
-    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
-               deps_);
-    detail::unpin_deps(untyped.data(), untyped.size());
-  }
-
-  /// Builds and submits the sub-launch of shard `i` over `devices`. With
-  /// rr == nullptr this is the fast path; otherwise the submission goes
-  /// through run_resilient and `rr` receives the outcome.
-  template <class Fn, class Views, std::size_t... I>
-  event_ptr submit_one(Fn& fn, Views& views,
-                       const std::array<data_place, sizeof...(Deps)>& resolved,
-                       const std::vector<int>& devices, std::size_t i,
-                       std::index_sequence<I...> seq,
-                       detail::resilient_result* rr,
-                       const event_list* ready_events) {
+  /// Builds and submits the generated kernel of shard `i` over `devices`
+  /// (blocked partition of the shape, §V-3), then hands it to the
+  /// pipeline's run stage.
+  template <class Fn, class Views>
+  void run_device_shard(detail::submit_pipeline& pipe, Fn& fn, Views& views,
+                        const std::array<data_place, sizeof...(Deps)>& resolved,
+                        const int* devices, std::size_t ndev, std::size_t i,
+                        const event_list& ready, event_list& done,
+                        detail::resilient_result* rr) {
+    constexpr auto seq = std::index_sequence_for<Deps...>{};
     const std::size_t total = shape_.size();
     const blocked_partitioner blocked;
-    const auto span = blocked.assign(total, i, devices.size());
+    const auto span = blocked.assign(total, i, ndev);
     const std::size_t elems = span.end - span.begin;
-    if (elems == 0 && devices.size() > 1) {
-      return nullptr;
+    if (elems == 0 && ndev > 1) {
+      return;  // empty shard of a grid split: nothing to submit
     }
     cudasim::kernel_desc k;
     k.name = symbol_;
@@ -236,8 +242,10 @@ class [[nodiscard]] parallel_for_builder {
     if (bytes_per_elem_ >= 0) {
       k.bytes = static_cast<double>(elems) * bytes_per_elem_ / efficiency_;
     } else if (total > 0) {
-      const double f0 = static_cast<double>(span.begin) / static_cast<double>(total);
-      const double f1 = static_cast<double>(span.end) / static_cast<double>(total);
+      const double f0 =
+          static_cast<double>(span.begin) / static_cast<double>(total);
+      const double f1 =
+          static_cast<double>(span.end) / static_cast<double>(total);
       detail::add_all_traffic(k, resolved, deps_, f0, f1, devices[i], seq);
       k.bytes /= efficiency_;
     }
@@ -257,180 +265,28 @@ class [[nodiscard]] parallel_for_builder {
     auto payload = [plat, k, body](cudasim::stream& s) {
       plat->launch_kernel(s, k, body);
     };
-    const event_list& ready = *ready_events;
-    if (rr == nullptr) {
-      return st_->backend->run(devices[i], backend_iface::channel::compute,
-                               ready, payload, symbol_);
-    }
-    *rr = detail::run_resilient(*st_, devices[i],
-                                backend_iface::channel::compute, ready,
-                                payload, symbol_);
-    return rr->status == cudasim::sim_status::success ? rr->ev : nullptr;
+    pipe.run_shard(devices[i], ready, payload, done, rr);
   }
 
-  /// Fault-aware whole-submission loop (DESIGN.md §5): on device loss the
-  /// MSI states are rolled back, the device blacklisted and the submission
-  /// re-gridified over the survivors. Already-submitted shards write into
-  /// instances the retry never reads (the shrunken grid binds a different
-  /// composite place), so re-execution cannot double-apply work.
-  template <class Fn, std::size_t... I>
-  [[gnu::cold]] [[gnu::noinline]] void submit_devices_resilient(
-      Fn&& fn, std::index_sequence<I...> seq,
-      std::function<void()> dl_resubmit = {}) {
-    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
-    {
-      std::size_t idx = 0;
-      std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
-                 deps_);
-    }
-    const std::size_t n = untyped.size();
-    if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
-      return;
-    }
-    // gridify_places mutates the requested places per device set: save the
-    // originals so every retry re-binds against the current survivors.
-    std::array<data_place, sizeof...(Deps)> orig_places{};
-    ((orig_places[I] = std::get<I>(deps_).untyped.place), ...);
-    const int max_rounds = st_->plat->device_count() + 1;
-    for (int round = 0; round < max_rounds; ++round) {
-      ((std::get<I>(deps_).untyped.place = orig_places[I]), ...);
-      std::vector<int> devices;
-      try {
-        devices = detail::resolve_devices(where_, *st_->plat);
-        detail::filter_blacklisted(*st_, devices);
-      } catch (const detail::device_lost_error&) {
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::device_lost, -1, round + 1,
-                                     "no surviving device to re-route to");
-        return;
-      }
-      if (round > 0) {
-        ++st_->report.tasks_rerouted;
-      }
-      if (devices.size() > 1) {
-        detail::gridify_places(deps_, detail::default_composite(devices), seq);
-      }
-      detail::msi_snapshot snap;
-      snap.capture(untyped.data(), n);
-      std::array<data_place, sizeof...(Deps)> resolved;
-      event_list ready;
-      try {
-        ready = detail::acquire_all(*st_, devices.front(), resolved, deps_, seq);
-      } catch (const detail::device_lost_error& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        st_->blacklist_device(e.device);
-        continue;
-      } catch (const detail::transfer_error& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::link_error, devices.front(),
-                                     round + 1, e.what());
-        return;
-      } catch (const detail::corruption_error& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::data_corrupted, e.device,
-                                     round + 1, e.what());
-        return;
-      } catch (const std::bad_alloc& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::out_of_memory,
-                                     devices.front(), round + 1, e.what());
-        return;
-      }
-      auto views = detail::make_views(resolved, deps_, seq);
-      // Publish the written spans to the fault injector so a scheduled
-      // kernel_output flip lands in real task output (integrity.cpp).
-      detail::output_hint_guard hints(*st_, untyped.data(), n, resolved.data());
-      event_list done;
-      detail::resilient_result bad;
-      int bad_device = -1;
-      for (std::size_t i = 0; i < devices.size(); ++i) {
-        detail::resilient_result r;
-        event_ptr ev = submit_one(fn, views, resolved, devices, i, seq, &r,
-                                  &ready);
-        if (ev) {
-          done.add(std::move(ev));
-        } else if (r.status != cudasim::sim_status::success) {
-          bad = r;
-          bad_device = devices[i];
-          break;
+  /// Host execution (where_.is_host()): the whole shape runs as one host
+  /// callback at drain time.
+  template <class Fn, class Views>
+  void run_host(detail::submit_pipeline& pipe, Fn& fn, Views& views,
+                const event_list& ready, event_list& done,
+                detail::resilient_result* rr) {
+    cudasim::platform* plat = st_->plat;
+    auto shape = shape_;
+    // By value: the callback runs at drain time, after this frame is gone.
+    auto payload = [plat, fn, views, shape](cudasim::stream& s) mutable {
+      plat->launch_host_func(s, [fn, views, shape]() mutable {
+        for (std::size_t lin = 0; lin < shape.size(); ++lin) {
+          detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
+                                 std::make_index_sequence<R>{},
+                                 std::index_sequence_for<Deps...>{});
         }
-      }
-      if (bad_device < 0) {
-        detail::release_all(*st_, resolved, deps_, done, seq);
-        if (st_->dl != nullptr) [[unlikely]] {
-          detail::track_submission(*st_, done, symbol_, devices.front(),
-                                   deadline_, untyped.data(), n,
-                                   std::move(dl_resubmit));
-        }
-        return;
-      }
-      // Order anything already submitted (and a partial prefix) before any
-      // retry copies and before deferred frees.
-      if (bad.ev) {
-        done.add(std::move(bad.ev));
-      }
-      detail::guard_partial(untyped.data(), n, resolved.data(), done);
-      snap.restore();
-      detail::unpin_deps(untyped.data(), n);
-      const bool lost = bad.status == cudasim::sim_status::error_device_lost;
-      if (lost) {
-        st_->blacklist_device(bad_device);
-        if (!bad.partial) {
-          continue;
-        }
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                   detail::kind_of(bad.status), bad_device,
-                                   bad.attempts + round,
-                                   cudasim::status_name(bad.status));
-      return;
-    }
-    detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                 failure_kind::device_lost, -1, max_rounds,
-                                 "retries exhausted after repeated device losses");
-  }
-
-  template <class Fn, std::size_t... I>
-  void submit_host(Fn&& fn, std::index_sequence<I...> seq) {
-    std::array<data_place, sizeof...(Deps)> resolved;
-    event_list done_list;
-    try {
-      event_list ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
-      auto views = detail::make_views(resolved, deps_, seq);
-      cudasim::platform* plat = st_->plat;
-      auto shape = shape_;
-      auto payload = [plat, fn = std::forward<Fn>(fn), views,
-                      shape](cudasim::stream& s) mutable {
-        plat->launch_host_func(s, [fn, views, shape]() mutable {
-          for (std::size_t lin = 0; lin < shape.size(); ++lin) {
-            detail::invoke_elem<R>(fn, shape.index_to_coords(lin), views,
-                                   std::make_index_sequence<R>{},
-                                   std::index_sequence_for<Deps...>{});
-          }
-        });
-      };
-      event_ptr done = st_->backend->run(0, backend_iface::channel::host,
-                                         ready, payload, symbol_);
-      if (done) {
-        done_list.add(std::move(done));
-      }
-    } catch (...) {
-      unpin_all();
-      throw;
-    }
-    detail::release_all(*st_, resolved, deps_, done_list, seq);
-    if (st_->dl != nullptr) [[unlikely]] {
-      // Host shards skip the retry rung (device = -1, no resubmit), like
-      // host_launch does.
-      track_one(done_list, -1, {});
-    }
+      });
+    };
+    pipe.run_shard(0, ready, payload, done, rr);
   }
 
   std::shared_ptr<context_state> st_;

@@ -2,6 +2,13 @@
 // asynchronous work whose ordering is inferred from the logical data it
 // accesses. The body receives a stream to enqueue work on plus one typed
 // view per dependency.
+//
+// Builders only *lower*: they reduce the typed dependency tuple to an
+// op_desc plus a hooks struct (acquire / run / release over the typed
+// views) and drive the shared staged pipeline in submit.{hpp,cpp}
+// (DESIGN.md §13). Engine logic — checkpoint logging, overload admission,
+// poison-cancel, retry/re-route, integrity verification, deadline
+// tracking — lives in the pipeline, not here.
 #pragma once
 
 #include <array>
@@ -14,7 +21,7 @@
 #include "cudastf/context_state.hpp"
 #include "cudastf/logical_data.hpp"
 #include "cudastf/places.hpp"
-#include "cudastf/recover.hpp"
+#include "cudastf/submit.hpp"
 
 namespace cudastf::detail {
 
@@ -126,100 +133,67 @@ class [[nodiscard]] task_builder {
   }
 
  private:
-  /// The pre-existing single-threaded submission body, serialized by the
+  /// Pipeline hooks closing over this builder's typed dependency tuple.
+  template <class Fn>
+  struct hooks_t final : detail::op_hooks {
+    task_builder& b;
+    detail::submit_pipeline& pipe;
+    std::array<data_place, sizeof...(Deps)>& res;
+    Fn* fn;
+
+    hooks_t(task_builder& b_, detail::submit_pipeline& pipe_,
+            std::array<data_place, sizeof...(Deps)>& res_, Fn& fn_)
+        : b(b_), pipe(pipe_), res(res_), fn(&fn_) {
+      resolved = res.data();
+    }
+
+    event_list acquire(int lead_device) override {
+      return detail::acquire_all(*b.st_, lead_device, res, b.deps_,
+                                 std::index_sequence_for<Deps...>{});
+    }
+
+    void run(const int* devices, std::size_t, const event_list& ready,
+             event_list& done, detail::resilient_result* rr, int*) override {
+      auto views = detail::make_views(res, b.deps_,
+                                      std::index_sequence_for<Deps...>{});
+      // The body runs synchronously inside the backend submission, so the
+      // payload may reference the builder-frame callable by pointer.
+      auto payload = [f = fn, views](cudasim::stream& s) mutable {
+        std::apply([&](auto&... v) { (*f)(s, v...); }, views);
+      };
+      pipe.run_shard(devices[0], ready, payload, done, rr);
+    }
+
+    void release(const event_list& done) override {
+      detail::release_all(*b.st_, res, b.deps_, done,
+                          std::index_sequence_for<Deps...>{});
+    }
+  };
+
+  /// The pre-existing single-threaded submission entry, serialized by the
   /// context lock (and, while parallel_submit workers are live, by the
-  /// exclusive gate taken in operator->*).
+  /// exclusive gate taken in operator->*). Lowers to an op_desc and hands
+  /// the staged pipeline the hooks.
   template <class Fn>
   void submit_locked(Fn&& fn) {
     std::lock_guard lock(st_->mu);
-    if (deadline_ > 0.0) [[unlikely]] {
-      st_->ensure_dl();  // builder-armed deadline on a so-far-disarmed context
-    }
-    std::function<void()> dl_resubmit;
-    if (st_->dl != nullptr) [[unlikely]] {
-      // Backpressure gate first (before anything is acquired or logged),
-      // then the retry closure — a copy of the builder taken before
-      // submission mutates anything, like the checkpoint log's.
-      const auto u = make_untyped();
-      detail::admit(*st_, u.data(), u.size(), shed_);
-      if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
-        dl_resubmit = [self = *this, fn]() mutable {
-          auto b = self;
-          std::move(b) ->* fn;
-        };
-      }
-    }
-    if (st_->ckpt != nullptr) [[unlikely]] {
-      record_replay(fn);
-    }
-    int device;
-    switch (where_.type()) {
-      case exec_place::kind::device:
-        device = where_.device_index();
-        break;
-      case exec_place::kind::automatic: {
-        const auto untyped = make_untyped();
-        device = pick_heft_device(*st_, untyped.data(), untyped.size());
-        break;
-      }
-      default:
-        device = st_->plat->current_device();
-        break;
-    }
-    constexpr auto seq = std::index_sequence_for<Deps...>{};
-    if (st_->fault_aware()) {
-      submit_resilient(std::forward<Fn>(fn), device, make_untyped(),
-                       std::move(dl_resubmit));
-      return;
-    }
+    const auto untyped = make_untyped();
+    op_desc op;
+    op.kind = op_kind::task;
+    op.symbol = &symbol_;
+    op.deps = untyped.data();
+    op.n_deps = untyped.size();
+    op.deadline = deadline_;
+    op.verified = verified_;
+    op.shed = shed_;
+    detail::submit_pipeline pipe(*st_, op);
+    pipe.stage_admission(pipe.needs_requeue()
+                             ? detail::make_requeue(*this, fn)
+                             : std::function<void()>{});
+    const int device = pipe.choose_device(where_);
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready;
-    try {
-      ready = detail::acquire_all(*st_, device, resolved, deps_, seq);
-      if (!st_->order_edges.empty()) [[unlikely]] {
-        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
-      }
-      auto views = detail::make_views(resolved, deps_, seq);
-      auto payload = [fn = std::forward<Fn>(fn),
-                      views](cudasim::stream& s) mutable {
-        std::apply([&](auto&... v) { fn(s, v...); }, views);
-      };
-      event_list done_list;
-      if (st_->integ != nullptr &&
-          (verified_ || st_->integ->cfg.verify_all_tasks)) [[unlikely]] {
-        const auto untyped = make_untyped();
-        done_list =
-            detail::run_verified(*st_, device, ready, payload, symbol_,
-                                 untyped.data(), untyped.size(),
-                                 resolved.data());
-      } else {
-        event_ptr done =
-            st_->backend->run(device, backend_iface::channel::compute, ready,
-                              payload, symbol_);
-        // One list, moved into place — release_dep copies are refcount
-        // bumps.
-        done_list = event_list(std::move(done));
-      }
-      detail::release_all(*st_, resolved, deps_, done_list, seq);
-      if (!st_->order_edges.empty()) [[unlikely]] {
-        st_->order_record(symbol_, done_list);
-      }
-      if (st_->dl != nullptr) [[unlikely]] {
-        const auto u = make_untyped();
-        detail::track_submission(*st_, done_list, symbol_, device, deadline_,
-                                 u.data(), u.size(), std::move(dl_resubmit));
-      }
-    } catch (const detail::corruption_error& e) {
-      record_submit_failure(failure_kind::data_corrupted, e.device, e.what());
-      throw;
-    } catch (const std::bad_alloc& e) {
-      record_submit_failure(failure_kind::out_of_memory, device, e.what());
-      throw;
-    } catch (const std::exception& e) {
-      record_submit_failure(failure_kind::submission_exception, device,
-                            e.what());
-      throw;
-    }
+    hooks_t<std::remove_reference_t<Fn>> h(*this, pipe, resolved, fn);
+    pipe.execute_task(h, device);
   }
 
   /// Sharded fast-path submission (DESIGN.md §11): holds the gate shared
@@ -241,17 +215,18 @@ class [[nodiscard]] task_builder {
     }
     context_state& st = *st_;
     detail::gate_shared sg(st.gate);
-    // Structural context features force the slow path wholesale: their
-    // hooks mutate shared engine state the stripes do not cover.
-    if (st.ckpt != nullptr || st.integ != nullptr || st.dl != nullptr ||
-        st.fault_aware() || !st.order_edges.empty() ||
-        !st.backend->concurrent_safe()) {
-      return false;
+    if (!detail::fast_path_armed(st)) {
+      return false;  // a structural engine or observer is armed
     }
     const int device = where_.type() == exec_place::kind::device
                            ? where_.device_index()
                            : st.plat->current_device();
     const auto untyped = make_untyped();
+    op_desc op;
+    op.kind = op_kind::task;
+    op.symbol = &symbol_;
+    op.deps = untyped.data();
+    op.n_deps = untyped.size();
     detail::stripe_lock stripes;
     for (const task_dep_untyped* d : untyped) {
       if (!stripes.add(&st.stripe_for(d->data.get()))) {
@@ -261,24 +236,8 @@ class [[nodiscard]] task_builder {
     constexpr auto seq = std::index_sequence_for<Deps...>{};
     std::array<data_place, sizeof...(Deps)> resolved;
     stripes.lock();
-    // Pre-check under the stripes: every dep needs an already-allocated
-    // instance at its resolved place, valid when the task reads it.
-    // Anything needing allocation, eviction or a coherence transfer is
-    // structural (it touches the memory engine and other data's stripes)
-    // and goes through the exclusive gate instead. After this check the
-    // unchanged acquire_dep/release_dep bodies provably skip those
-    // branches, so the pre-existing coherence logic runs as-is.
-    for (std::size_t i = 0; i < untyped.size(); ++i) {
-      const task_dep_untyped& dep = *untyped[i];
-      resolved[i] = resolve_place(dep.place, device);
-      if (resolved[i].type() == data_place::kind::composite) {
-        return false;
-      }
-      data_instance* inst = dep.data->find_instance(resolved[i]);
-      if (inst == nullptr || !inst->allocated ||
-          (mode_reads(dep.mode) && inst->state == msi_state::invalid)) {
-        return false;
-      }
+    if (!detail::fast_path_ready(op, device, resolved.data())) {
+      return false;  // allocation/transfer needed: structural
     }
     failure_kind fail_kind = failure_kind::submission_exception;
     std::string fail_buf;
@@ -313,7 +272,7 @@ class [[nodiscard]] task_builder {
     sg.unlock();
     detail::gate_exclusive xg(st.gate, true);
     std::lock_guard lock(st.mu);
-    record_submit_failure(fail_kind, device, fail_buf.c_str());
+    detail::fast_submit_failure(st, op, fail_kind, device, fail_buf.c_str());
     std::rethrow_exception(err);
   }
 
@@ -323,194 +282,6 @@ class [[nodiscard]] task_builder {
     std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
                deps_);
     return untyped;
-  }
-
-  /// Appends a replay closure for this submission to the epoch log
-  /// (checkpoint.hpp): a copy of the builder taken *before* submission
-  /// mutates anything, re-invoked verbatim on epoch restart. Device
-  /// selection re-runs at replay time, so the task lands on a surviving
-  /// device. Move-only bodies cannot be logged and simply fall back to
-  /// poison-and-cancel on permanent failure.
-  template <class Fn>
-  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
-    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
-      if (st_->ckpt->replaying()) {
-        return;
-      }
-      std::vector<std::weak_ptr<logical_data_impl>> touched;
-      touched.reserve(sizeof...(Deps));
-      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
-                 deps_);
-      st_->ckpt->record([self = *this, fn]() mutable {
-        auto b = self;  // keep the log entry reusable across restarts
-        std::move(b) ->* fn;
-      }, std::move(touched));
-    }
-  }
-
-  /// Cold epilogue of a failed fast-path submission: unpins and records.
-  /// Out-of-line so the catch blocks in the hot template stay tiny.
-  [[gnu::cold]] [[gnu::noinline]] void record_submit_failure(
-      failure_kind kind, int device, const char* what) {
-    const auto untyped = make_untyped();
-    detail::unpin_deps(untyped.data(), untyped.size());
-    detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_, kind,
-                      device, 1, what);
-  }
-
-  /// Fault-aware submission (DESIGN.md §5): cancel on poisoned inputs,
-  /// re-route off blacklisted devices, roll back and retry on faults.
-  /// Kept out-of-line (cold) so the fault-free fast path above stays
-  /// compact in the instruction cache.
-  template <class Fn>
-  [[gnu::cold]] [[gnu::noinline]] void submit_resilient(
-      Fn&& fn, int device,
-      const std::array<const task_dep_untyped*, sizeof...(Deps)>& untyped,
-      std::function<void()> dl_resubmit = {}) {
-    constexpr auto seq = std::index_sequence_for<Deps...>{};
-    const std::size_t n = untyped.size();
-    if (detail::cancel_if_poisoned(*st_, untyped.data(), n, symbol_)) {
-      return;
-    }
-    const int ndev = st_->plat->device_count();
-    for (int round = 0;; ++round) {
-      if (st_->device_blacklisted(device)) {
-        try {
-          device = st_->reroute_device(device);
-        } catch (const detail::device_lost_error&) {
-          detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                       failure_kind::device_lost, device,
-                                       round + 1,
-                                       "no surviving device to re-route to");
-          return;
-        }
-        ++st_->report.tasks_rerouted;
-      }
-      detail::msi_snapshot snap;
-      snap.capture(untyped.data(), n);
-      std::array<data_place, sizeof...(Deps)> resolved;
-      event_list ready;
-      try {
-        ready = detail::acquire_all(*st_, device, resolved, deps_, seq);
-      } catch (const detail::device_lost_error& e) {
-        // A copy endpoint died mid-acquire: restore *before* blacklisting
-        // so evacuation sees the true pre-acquire coherency states.
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        st_->blacklist_device(e.device);
-        if (round < ndev) {
-          continue;
-        }
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::device_lost, e.device,
-                                     round + 1,
-                                     "device lost during data acquire");
-        return;
-      } catch (const detail::transfer_error& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::link_error, device,
-                                     round + 1, e.what());
-        return;
-      } catch (const detail::corruption_error& e) {
-        // Checksum mismatch with no valid replica (integrity engine,
-        // DESIGN.md §10): escalate — epoch restart when checkpointing is
-        // armed, else the poison placed at detection time stands.
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::data_corrupted, e.device,
-                                     round + 1, e.what());
-        return;
-      } catch (const std::bad_alloc& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::out_of_memory, device,
-                                     round + 1, e.what());
-        return;
-      }
-      if (!st_->order_edges.empty()) {
-        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
-      }
-      auto views = detail::make_views(resolved, deps_, seq);
-      auto payload = [&fn, views](cudasim::stream& s) mutable {
-        std::apply([&](auto&... v) { fn(s, v...); }, views);
-      };
-      detail::resilient_result r;
-      try {
-        // Declare the written byte ranges while the submission is in
-        // flight so an armed kernel_output flip corrupts genuine output.
-        detail::output_hint_guard hints(*st_, untyped.data(), n,
-                                        resolved.data());
-        if (st_->integ != nullptr &&
-            (verified_ || st_->integ->cfg.verify_all_tasks)) [[unlikely]] {
-          const event_list done_list = detail::run_verified(
-              *st_, device, ready, payload, symbol_, untyped.data(), n,
-              resolved.data());
-          detail::release_all(*st_, resolved, deps_, done_list, seq);
-          if (!st_->order_edges.empty()) {
-            st_->order_record(symbol_, done_list);
-          }
-          if (st_->dl != nullptr) [[unlikely]] {
-            detail::track_submission(*st_, done_list, symbol_, device,
-                                     deadline_, untyped.data(), n,
-                                     std::move(dl_resubmit));
-          }
-          return;
-        }
-        r = detail::run_resilient(*st_, device,
-                                  backend_iface::channel::compute, ready,
-                                  payload, symbol_);
-      } catch (const detail::corruption_error& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                     failure_kind::data_corrupted, e.device,
-                                     round + 1, e.what());
-        return;
-      } catch (const std::exception& e) {
-        snap.restore();
-        detail::unpin_deps(untyped.data(), n);
-        detail::fail_task(*st_, untyped.data(), n, symbol_,
-                          failure_kind::submission_exception, device,
-                          round + 1, e.what());
-        throw;
-      }
-      if (r.status == cudasim::sim_status::success) {
-        const event_list done_list(std::move(r.ev));
-        detail::release_all(*st_, resolved, deps_, done_list, seq);
-        if (!st_->order_edges.empty()) {
-          st_->order_record(symbol_, done_list);
-        }
-        if (st_->dl != nullptr) [[unlikely]] {
-          detail::track_submission(*st_, done_list, symbol_, device, deadline_,
-                                   untyped.data(), n, std::move(dl_resubmit));
-        }
-        return;
-      }
-      snap.restore();
-      detail::unpin_deps(untyped.data(), n);
-      const bool lost = r.status == cudasim::sim_status::error_device_lost;
-      if (lost) {
-        st_->blacklist_device(device);
-      }
-      if (lost && !r.partial && round < ndev) {
-        continue;  // re-routed at the top of the loop
-      }
-      if (r.partial) {
-        // The executed prefix still references the instances: its event
-        // must gate their deferred destruction.
-        detail::guard_partial(untyped.data(), n, resolved.data(),
-                              event_list(std::move(r.ev)));
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), n, symbol_,
-                                   detail::kind_of(r.status), device,
-                                   r.attempts + round,
-                                   cudasim::status_name(r.status));
-      return;
-    }
   }
 
   std::shared_ptr<context_state> st_;
@@ -550,130 +321,75 @@ class [[nodiscard]] host_launch_builder {
     detail::gate_exclusive xg(st_->gate,
                               st_->mt_active.load(std::memory_order_acquire));
     std::lock_guard lock(st_->mu);
-    if (st_->ckpt != nullptr) [[unlikely]] {
-      record_replay(fn);
-    }
-    constexpr auto seq = std::index_sequence_for<Deps...>{};
-    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
-    {
-      std::size_t idx = 0;
-      std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
-                 deps_);
-    }
-    if (st_->dl != nullptr) [[unlikely]] {
-      detail::admit(*st_, untyped.data(), untyped.size(), false);
-    }
-    const bool aware = st_->fault_aware();
-    if (aware &&
-        detail::cancel_if_poisoned(*st_, untyped.data(), untyped.size(),
-                                   symbol_)) {
-      return;
-    }
+    const auto untyped = make_untyped();
+    op_desc op;
+    op.kind = op_kind::host;
+    op.symbol = &symbol_;
+    op.deps = untyped.data();
+    op.n_deps = untyped.size();
+    op.channel = backend_iface::channel::host;
+    detail::submit_pipeline pipe(*st_, op);
+    pipe.stage_admission(pipe.needs_requeue()
+                             ? detail::make_requeue(*this, fn)
+                             : std::function<void()>{});
     std::array<data_place, sizeof...(Deps)> resolved;
-    event_list ready;
-    try {
-      // Host tasks gather their inputs to the host; device-to-host copies
-      // remain allowed even from a failed device (evacuation grace), so a
-      // device loss rarely reaches this acquire.
-      ready = detail::acquire_all(*st_, -1, resolved, deps_, seq);
-      if (!st_->order_edges.empty()) [[unlikely]] {
-        st_->events_pruned += ready.merge(st_->order_wait(symbol_));
-      }
-      auto views = detail::make_views(resolved, deps_, seq);
-      cudasim::platform* plat = st_->plat;
-      const double cost = cost_;
-      auto payload = [fn = std::forward<Fn>(fn), views, plat,
-                      cost](cudasim::stream& s) mutable {
-        plat->launch_host_func(
-            s,
-            [fn, views]() mutable {
-              std::apply([&](auto&... v) { fn(v...); }, views);
-            },
-            cost);
-      };
-      event_ptr done = st_->backend->run(0, backend_iface::channel::host, ready,
-                                         payload, symbol_);
-      const event_list done_list(std::move(done));
-      detail::release_all(*st_, resolved, deps_, done_list, seq);
-      if (!st_->order_edges.empty()) [[unlikely]] {
-        st_->order_record(symbol_, done_list);
-      }
-      if (st_->dl != nullptr) [[unlikely]] {
-        // Host tasks take the default deadline and count against the
-        // window; they skip the retry rung (resubmit = null), escalating
-        // straight to restart/poison like the checkpoint log's move-only
-        // fallback.
-        detail::track_submission(*st_, done_list, symbol_, -1, 0.0,
-                                 untyped.data(), untyped.size(), {});
-      }
-    } catch (const detail::device_lost_error& e) {
-      detail::unpin_deps(untyped.data(), untyped.size());
-      st_->blacklist_device(e.device);
-      if (!aware) {
-        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                          failure_kind::device_lost, e.device, 1,
-                          "device lost during host-task acquire");
-        throw;
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
-                                   symbol_, failure_kind::device_lost,
-                                   e.device, 1,
-                                   "device lost during host-task acquire");
-    } catch (const detail::transfer_error& e) {
-      detail::unpin_deps(untyped.data(), untyped.size());
-      if (!aware) {
-        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                          failure_kind::link_error, -1, 1, e.what());
-        throw;
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
-                                   symbol_, failure_kind::link_error, -1, 1,
-                                   e.what());
-    } catch (const detail::corruption_error& e) {
-      detail::unpin_deps(untyped.data(), untyped.size());
-      if (!aware) {
-        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                          failure_kind::data_corrupted, e.device, 1, e.what());
-        throw;
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
-                                   symbol_, failure_kind::data_corrupted,
-                                   e.device, 1, e.what());
-    } catch (const std::bad_alloc& e) {
-      detail::unpin_deps(untyped.data(), untyped.size());
-      if (!aware) {
-        detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                          failure_kind::out_of_memory, -1, 1, e.what());
-        throw;
-      }
-      detail::fail_task_or_restart(*st_, untyped.data(), untyped.size(),
-                                   symbol_, failure_kind::out_of_memory, -1, 1,
-                                   e.what());
-    } catch (const std::exception& e) {
-      detail::unpin_deps(untyped.data(), untyped.size());
-      detail::fail_task(*st_, untyped.data(), untyped.size(), symbol_,
-                        failure_kind::submission_exception, -1, 1, e.what());
-      throw;
-    }
+    hooks_t<std::remove_reference_t<Fn>> h(*this, pipe, resolved, fn);
+    pipe.execute_host_task(h);
   }
 
  private:
-  /// See task_builder::record_replay.
   template <class Fn>
-  [[gnu::cold]] [[gnu::noinline]] void record_replay(Fn& fn) {
-    if constexpr (std::is_copy_constructible_v<std::decay_t<Fn>>) {
-      if (st_->ckpt->replaying()) {
-        return;
-      }
-      std::vector<std::weak_ptr<logical_data_impl>> touched;
-      touched.reserve(sizeof...(Deps));
-      std::apply([&](const auto&... d) { (touched.push_back(d.untyped.data), ...); },
-                 deps_);
-      st_->ckpt->record([self = *this, fn]() mutable {
-        auto b = self;
-        std::move(b) ->* fn;
-      }, std::move(touched));
+  struct hooks_t final : detail::op_hooks {
+    host_launch_builder& b;
+    detail::submit_pipeline& pipe;
+    std::array<data_place, sizeof...(Deps)>& res;
+    Fn* fn;
+
+    hooks_t(host_launch_builder& b_, detail::submit_pipeline& pipe_,
+            std::array<data_place, sizeof...(Deps)>& res_, Fn& fn_)
+        : b(b_), pipe(pipe_), res(res_), fn(&fn_) {
+      resolved = res.data();
     }
+
+    event_list acquire(int) override {
+      // Host tasks gather their inputs to the host; device-to-host copies
+      // remain allowed even from a failed device (evacuation grace), so a
+      // device loss rarely reaches this acquire.
+      return detail::acquire_all(*b.st_, -1, res, b.deps_,
+                                 std::index_sequence_for<Deps...>{});
+    }
+
+    void run(const int*, std::size_t, const event_list& ready,
+             event_list& done, detail::resilient_result* rr, int*) override {
+      auto views = detail::make_views(res, b.deps_,
+                                      std::index_sequence_for<Deps...>{});
+      cudasim::platform* plat = b.st_->plat;
+      const double cost = b.cost_;
+      // The host callback fires at DES drain time, long after the builder
+      // frame is gone: it must own a copy of the callable.
+      auto payload = [g = *fn, views, plat, cost](cudasim::stream& s) mutable {
+        plat->launch_host_func(
+            s,
+            [g, views]() mutable {
+              std::apply([&](auto&... v) { g(v...); }, views);
+            },
+            cost);
+      };
+      pipe.run_shard(0, ready, payload, done, rr);
+    }
+
+    void release(const event_list& done) override {
+      detail::release_all(*b.st_, res, b.deps_, done,
+                          std::index_sequence_for<Deps...>{});
+    }
+  };
+
+  std::array<const task_dep_untyped*, sizeof...(Deps)> make_untyped() const {
+    std::array<const task_dep_untyped*, sizeof...(Deps)> untyped{};
+    std::size_t idx = 0;
+    std::apply([&](const auto&... d) { ((untyped[idx++] = &d.untyped), ...); },
+               deps_);
+    return untyped;
   }
 
   std::shared_ptr<context_state> st_;

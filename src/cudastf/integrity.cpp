@@ -2,6 +2,11 @@
 // verification at trust boundaries, replica repair, dual-execution voting
 // and the background scrubber. See integrity.hpp for the model.
 //
+// Pipeline hook points (DESIGN.md §13): verify-on-acquire runs inside the
+// acquire stage (detail::acquire_all) and dual-execution voting replaces
+// the plain backend run inside submit_pipeline::run_shard when the op's
+// verified flag (or verify_all_tasks) is set.
+//
 // Threading contract (DESIGN.md §11): checksum bookkeeping spans multiple
 // logical data and the platform, so tasks on contexts with an integrity
 // engine never take the concurrent fast path — everything here runs with

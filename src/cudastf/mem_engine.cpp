@@ -18,6 +18,7 @@
 #include "cudastf/data.hpp"
 #include "cudastf/error.hpp"
 #include "cudastf/recover.hpp"
+#include "cudastf/submit.hpp"  // complete dot_exporter for ~context_state
 #include "cudastf/transfer.hpp"
 
 namespace cudastf {
